@@ -1,0 +1,83 @@
+// DELEG — §2.4 chained delegation.
+//
+// "delegation can be chained. In other words one can delegate credentials
+// to host A and then the process on host A can delegate credentials to
+// host B and so forth."
+//
+// Series reported:
+//   BM_Deleg_CreateChain/<depth>   — building a chain of <depth> proxies
+//   BM_Deleg_VerifyChain/<depth>   — relying-party verification cost
+//   BM_Deleg_HandshakeHop          — one remote-delegation hop (CSR round
+//                                     trip), the unit the chain is made of
+// Expected shape: both creation and verification grow linearly in depth —
+// each link adds one keypair + signature (create) and one signature check +
+// DN/nesting checks (verify). The identity stays the EEC's at every depth.
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace myproxy;         // NOLINT(google-build-using-namespace)
+using namespace myproxy::bench;  // NOLINT(google-build-using-namespace)
+
+VirtualOrganization& vo() {
+  static VirtualOrganization instance;
+  return instance;
+}
+
+gsi::Credential make_chain(const gsi::Credential& user, std::int64_t depth) {
+  gsi::Credential current = user;
+  for (std::int64_t i = 0; i < depth; ++i) {
+    gsi::ProxyOptions options;
+    options.lifetime = Seconds(3600 - i * 10);  // keep nesting valid
+    current = gsi::create_proxy(current, options);
+  }
+  return current;
+}
+
+void BM_Deleg_CreateChain(benchmark::State& state) {
+  quiet_logs();
+  const gsi::Credential user = vo().user("deleg-create-user");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_chain(user, state.range(0)));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Deleg_CreateChain)
+    ->DenseRange(1, 8, 1)
+    ->Unit(benchmark::kMicrosecond)
+    ->Complexity(benchmark::oN);
+
+void BM_Deleg_VerifyChain(benchmark::State& state) {
+  quiet_logs();
+  const gsi::Credential user = vo().user("deleg-verify-user");
+  const gsi::Credential leaf = make_chain(user, state.range(0));
+  const auto chain = leaf.full_chain();
+  const auto store = vo().trust_store();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.verify(chain));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Deleg_VerifyChain)
+    ->DenseRange(1, 8, 1)
+    ->Unit(benchmark::kMicrosecond)
+    ->Complexity(benchmark::oN);
+
+void BM_Deleg_HandshakeHop(benchmark::State& state) {
+  // One delegation hop as it happens on the wire: receiver keygen + CSR,
+  // sender verify + sign, receiver completion.
+  quiet_logs();
+  const gsi::Credential sender = gsi::create_proxy(vo().user("deleg-hop"));
+  for (auto _ : state) {
+    gsi::DelegationRequest request = gsi::begin_delegation();
+    const std::string chain =
+        gsi::delegate_credential(sender, request.csr_pem);
+    benchmark::DoNotOptimize(
+        gsi::complete_delegation(std::move(request.key), chain));
+  }
+}
+BENCHMARK(BM_Deleg_HandshakeHop)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+// FIG1 — Figure 1 regenerated as a measured protocol flow.
+//
+// "myproxy-init": the user creates a proxy from their long-term credential
+// and delegates it to the repository together with a user name, pass
+// phrase, and retrieval restrictions.
+//
+// Series reported:
+//   BM_Fig1_EndToEnd          — whole myproxy-init over TCP + mutual TLS
+//   BM_Fig1_Phase_*           — per-phase breakdown of the same flow
+// Expected shape (EXPERIMENTS.md): the flow is dominated by the client's
+// proxy-keypair work and the two delegation signatures plus the TLS
+// handshakes; encryption-at-rest (PBKDF2) is a tunable constant.
+#include "bench_util.hpp"
+#include "crypto/symmetric.hpp"
+
+namespace {
+
+using namespace myproxy;         // NOLINT(google-build-using-namespace)
+using namespace myproxy::bench;  // NOLINT(google-build-using-namespace)
+
+// Shared across iterations: one VO + repository per binary run.
+VirtualOrganization& vo() {
+  static VirtualOrganization instance;
+  return instance;
+}
+RepositoryFixture& fixture() {
+  static RepositoryFixture instance(vo(), bench_policy());
+  return instance;
+}
+
+void BM_Fig1_EndToEnd(benchmark::State& state) {
+  quiet_logs();
+  const gsi::Credential alice = vo().user("fig1-user");
+  int i = 0;
+  for (auto _ : state) {
+    const gsi::Credential proxy = gsi::create_proxy(alice);
+    client::MyProxyClient client(proxy, vo().trust_store(),
+                                 fixture().server->port());
+    client.put("fig1-user-" + std::to_string(i++), kPhrase, proxy);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Fig1_EndToEnd)->Unit(benchmark::kMillisecond);
+
+void BM_Fig1_Phase_ProxyCreation(benchmark::State& state) {
+  quiet_logs();
+  const gsi::Credential alice = vo().user("fig1-phase-user");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gsi::create_proxy(alice));
+  }
+}
+BENCHMARK(BM_Fig1_Phase_ProxyCreation)->Unit(benchmark::kMicrosecond);
+
+void BM_Fig1_Phase_TlsMutualHandshake(benchmark::State& state) {
+  quiet_logs();
+  const gsi::Credential client_cred =
+      gsi::create_proxy(vo().user("fig1-tls-user"));
+  const gsi::Credential server_cred = vo().service("fig1-tls-server");
+  const tls::TlsContext client_ctx = tls::TlsContext::make(client_cred);
+  const tls::TlsContext server_ctx = tls::TlsContext::make(server_cred);
+  for (auto _ : state) {
+    auto [server_sock, client_sock] = net::socket_pair();
+    std::thread server_thread([&server_ctx, s = std::move(server_sock)]() mutable {
+      auto channel = tls::TlsChannel::accept(server_ctx, std::move(s));
+      benchmark::DoNotOptimize(channel);
+    });
+    auto channel = tls::TlsChannel::connect(client_ctx,
+                                            std::move(client_sock));
+    benchmark::DoNotOptimize(channel);
+    server_thread.join();
+  }
+}
+BENCHMARK(BM_Fig1_Phase_TlsMutualHandshake)->Unit(benchmark::kMicrosecond);
+
+void BM_Fig1_Phase_DelegationHandshake(benchmark::State& state) {
+  // The CSR round trip that moves the proxy to the repository: receiver key
+  // generation + CSR, sender verification + proxy signature, completion.
+  quiet_logs();
+  const gsi::Credential proxy =
+      gsi::create_proxy(vo().user("fig1-deleg-user"));
+  for (auto _ : state) {
+    gsi::DelegationRequest request = gsi::begin_delegation();
+    const std::string chain = gsi::delegate_credential(proxy, request.csr_pem);
+    benchmark::DoNotOptimize(
+        gsi::complete_delegation(std::move(request.key), chain));
+  }
+}
+BENCHMARK(BM_Fig1_Phase_DelegationHandshake)->Unit(benchmark::kMicrosecond);
+
+void BM_Fig1_Phase_EncryptAtRest(benchmark::State& state) {
+  // PBKDF2 + AES-GCM sealing of the credential blob (§5.1), at the
+  // repository's default cost.
+  quiet_logs();
+  const gsi::Credential proxy =
+      gsi::create_proxy(vo().user("fig1-seal-user"));
+  const SecureBuffer pem = proxy.to_pem();
+  const unsigned iterations = bench_policy().kdf_iterations;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::passphrase_seal(
+        kPhrase, pem.view(), "myproxy:alice:", iterations));
+  }
+}
+BENCHMARK(BM_Fig1_Phase_EncryptAtRest)->Unit(benchmark::kMicrosecond);
+
+void BM_Fig1_Phase_ChainVerification(benchmark::State& state) {
+  // Server-side GSI verification of the connecting client (and of the
+  // freshly delegated credential).
+  quiet_logs();
+  const gsi::Credential proxy =
+      gsi::create_proxy(vo().user("fig1-verify-user"));
+  const auto chain = proxy.full_chain();
+  const auto store = vo().trust_store();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.verify(chain));
+  }
+}
+BENCHMARK(BM_Fig1_Phase_ChainVerification)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// FIG3 — Figure 3 regenerated as a measured end-to-end flow.
+//
+// Browser -> portal login (step 1), portal -> repository retrieval
+// (steps 2-3), then portal -> Grid resource job submission with delegation.
+//
+// Series reported:
+//   BM_Fig3_Step1to3_Login       — login only (steps 1-3)
+//   BM_Fig3_FullWorkflow         — login + job submission + logout
+//   BM_Fig3_ActionWithSession    — a portal action re-using the session
+//                                   credential (no repository round trip)
+// Expected shape: login pays one HTTPS handshake + one full
+// myproxy-get-delegation; subsequent actions only pay the resource hop —
+// the paper's point that the repository is touched once per session.
+#include "bench_util.hpp"
+#include "grid/resource_service.hpp"
+#include "portal/grid_portal.hpp"
+
+namespace {
+
+using namespace myproxy;         // NOLINT(google-build-using-namespace)
+using namespace myproxy::bench;  // NOLINT(google-build-using-namespace)
+
+/// The whole Figure-3 stack, built once per binary run.
+struct World {
+  VirtualOrganization vo;
+  std::unique_ptr<RepositoryFixture> repo;
+  std::unique_ptr<grid::ResourceService> resource;
+  std::unique_ptr<portal::GridPortal> portal_app;
+  gsi::Credential alice{};
+
+  World() {
+    quiet_logs();
+    repo = std::make_unique<RepositoryFixture>(vo, bench_policy());
+    gsi::Gridmap map;
+    map.add("/C=US/O=Grid/OU=People/*", "users");
+    resource = std::make_unique<grid::ResourceService>(
+        vo.service("compute"), vo.trust_store(), std::move(map));
+    resource->start();
+    portal::PortalConfig config;
+    config.repositories = {{"default", repo->server->port()}};
+    config.resource_port = resource->port();
+    portal_app = std::make_unique<portal::GridPortal>(
+        vo.portal("portal"), vo.trust_store(), config);
+    portal_app->start();
+    alice = vo.user("fig3-alice");
+    put_credential(vo, *repo, alice, "alice");
+  }
+
+  ~World() {
+    portal_app->stop();
+    resource->stop();
+  }
+};
+
+World& world() {
+  static World instance;
+  return instance;
+}
+
+void BM_Fig3_Step1to3_Login(benchmark::State& state) {
+  auto& w = world();
+  for (auto _ : state) {
+    portal::Browser browser(w.portal_app->port());
+    const auto response = browser.post_form(
+        "/login", {{"username", "alice"},
+                   {"passphrase", std::string(kPhrase)}});
+    if (response.status != 303) state.SkipWithError("login failed");
+    // Log out so sessions do not accumulate across iterations.
+    (void)browser.post_form("/logout", {});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Fig3_Step1to3_Login)->Unit(benchmark::kMillisecond);
+
+void BM_Fig3_FullWorkflow(benchmark::State& state) {
+  auto& w = world();
+  for (auto _ : state) {
+    portal::Browser browser(w.portal_app->port());
+    (void)browser.post_form("/login", {{"username", "alice"},
+                                       {"passphrase", std::string(kPhrase)}});
+    const auto submit =
+        browser.post_form("/submit", {{"command", "bench-job"}});
+    if (submit.status != 200) state.SkipWithError("submit failed");
+    (void)browser.post_form("/logout", {});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Fig3_FullWorkflow)->Unit(benchmark::kMillisecond);
+
+void BM_Fig3_ActionWithSession(benchmark::State& state) {
+  // One login, many actions: the repository is out of the loop.
+  auto& w = world();
+  portal::Browser browser(w.portal_app->port());
+  (void)browser.post_form("/login", {{"username", "alice"},
+                                     {"passphrase", std::string(kPhrase)}});
+  for (auto _ : state) {
+    const auto response = browser.post_form(
+        "/store", {{"name", "bench.txt"}, {"content", "x"}});
+    if (response.status != 200) state.SkipWithError("store failed");
+  }
+  (void)browser.post_form("/logout", {});
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Fig3_ActionWithSession)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

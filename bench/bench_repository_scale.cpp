@@ -1,0 +1,148 @@
+// LIFE — §4.1/§4.3 lifetime policy at repository scale.
+//
+// A production repository holds credentials for a whole virtual
+// organization. This measures store/lookup/open as the record count grows,
+// plus the expiry sweep that enforces the paper's bounded-lifetime story.
+//
+// Series reported:
+//   BM_Repo_OpenAmongN/<n>     — open one credential with n-1 others stored
+//   BM_Repo_StoreAmongN/<n>    — store cost at population n
+//   BM_Repo_SweepExpired/<n>   — expiry sweep over n records (half expired)
+//   BM_Repo_WalletSelect/<n>   — §6.2 task selection across an n-slot wallet
+// Expected shape: open/store stay O(log n) (keyed store), the sweep is O(n)
+// — cheap enough to run periodically, which is what keeps the §5.1 "stolen
+// records expire" argument operational.
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace myproxy;         // NOLINT(google-build-using-namespace)
+using namespace myproxy::bench;  // NOLINT(google-build-using-namespace)
+
+VirtualOrganization& vo() {
+  static VirtualOrganization instance;
+  return instance;
+}
+
+const gsi::Credential& donor() {
+  static const gsi::Credential user = vo().user("repo-scale-user");
+  return user;
+}
+
+/// Repository pre-filled with `n` records for distinct users.
+std::unique_ptr<repository::Repository> filled_repository(std::int64_t n) {
+  auto repo = std::make_unique<repository::Repository>(
+      std::make_unique<repository::MemoryCredentialStore>(),
+      bench_policy(/*kdf_iterations=*/100));
+  gsi::ProxyOptions options;
+  options.lifetime = Seconds(24 * 3600);
+  const gsi::Credential proxy = gsi::create_proxy(donor(), options);
+  for (std::int64_t i = 0; i < n; ++i) {
+    repo->store("user-" + std::to_string(i), kPhrase,
+                donor().identity().str(), proxy);
+  }
+  return repo;
+}
+
+void BM_Repo_OpenAmongN(benchmark::State& state) {
+  quiet_logs();
+  auto repo = filled_repository(state.range(0));
+  const std::string target =
+      "user-" + std::to_string(state.range(0) / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(repo->open(target, kPhrase));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Repo_OpenAmongN)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Repo_StoreAmongN(benchmark::State& state) {
+  quiet_logs();
+  auto repo = filled_repository(state.range(0));
+  gsi::ProxyOptions options;
+  options.lifetime = Seconds(24 * 3600);
+  const gsi::Credential proxy = gsi::create_proxy(donor(), options);
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    repo->store("new-user-" + std::to_string(i++), kPhrase,
+                donor().identity().str(), proxy);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Repo_StoreAmongN)
+    ->Arg(10)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Repo_SweepExpired(benchmark::State& state) {
+  quiet_logs();
+  gsi::ProxyOptions short_lived;
+  short_lived.lifetime = Seconds(60);
+  gsi::ProxyOptions long_lived;
+  long_lived.lifetime = Seconds(24 * 3600);
+  const gsi::Credential short_proxy = gsi::create_proxy(donor(), short_lived);
+  const gsi::Credential long_proxy = gsi::create_proxy(donor(), long_lived);
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto repo = std::make_unique<repository::Repository>(
+        std::make_unique<repository::MemoryCredentialStore>(),
+        bench_policy(100));
+    for (std::int64_t i = 0; i < state.range(0); ++i) {
+      repo->store("user-" + std::to_string(i), kPhrase,
+                  donor().identity().str(),
+                  (i % 2 == 0) ? short_proxy : long_proxy);
+    }
+    VirtualClock::instance().advance(Seconds(3600));
+    state.ResumeTiming();
+
+    const std::size_t swept = repo->sweep_expired();
+    benchmark::DoNotOptimize(swept);
+
+    state.PauseTiming();
+    VirtualClock::instance().reset();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) / 2);
+}
+BENCHMARK(BM_Repo_SweepExpired)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Repo_WalletSelect(benchmark::State& state) {
+  // §6.2: selection across a wallet of n tagged credentials.
+  quiet_logs();
+  auto repo = std::make_unique<repository::Repository>(
+      std::make_unique<repository::MemoryCredentialStore>(),
+      bench_policy(100));
+  gsi::ProxyOptions options;
+  options.lifetime = Seconds(24 * 3600);
+  const gsi::Credential proxy = gsi::create_proxy(donor(), options);
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    repository::StoreOptions slot;
+    slot.name = "slot-" + std::to_string(i);
+    slot.task_tags = "task-" + std::to_string(i);
+    repo->store("alice", kPhrase, donor().identity().str(), proxy, slot);
+  }
+  const std::string task = "task-" + std::to_string(state.range(0) - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(repo->select_for_task("alice", task));
+  }
+}
+BENCHMARK(BM_Repo_WalletSelect)
+    ->Arg(2)
+    ->Arg(8)
+    ->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// RESTRICT — §6.5 restricted proxy ablation.
+//
+// "even if the MyProxy server itself were compromised or the credentials
+// themselves were somehow stolen, the damage that could be done with them
+// would be significantly limited."
+//
+// Series reported:
+//   BM_Restrict_Issue/{plain,restricted}    — proxy issuance cost
+//   BM_Restrict_Verify/{plain,restricted}   — chain verification cost
+//   BM_Restrict_Enforce                     — the resource's policy check
+//   BM_Restrict_PolicyCompose/<links>       — intersection along a chain
+// Expected shape: the extension adds a near-constant few percent to
+// issuance and verification — restriction is effectively free, supporting
+// the paper's recommendation to adopt it.
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace myproxy;         // NOLINT(google-build-using-namespace)
+using namespace myproxy::bench;  // NOLINT(google-build-using-namespace)
+
+VirtualOrganization& vo() {
+  static VirtualOrganization instance;
+  return instance;
+}
+
+const gsi::Credential& user() {
+  static const gsi::Credential cred = vo().user("restrict-user");
+  return cred;
+}
+
+gsi::ProxyOptions options_for(bool restricted) {
+  gsi::ProxyOptions options;
+  if (restricted) {
+    options.restriction = pki::RestrictionPolicy::parse(
+        "rights=job-submit,job-status,file-read,file-write");
+  }
+  return options;
+}
+
+void BM_Restrict_Issue(benchmark::State& state) {
+  quiet_logs();
+  const bool restricted = state.range(0) != 0;
+  state.SetLabel(restricted ? "restricted" : "plain");
+  const gsi::ProxyOptions options = options_for(restricted);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gsi::create_proxy(user(), options));
+  }
+}
+BENCHMARK(BM_Restrict_Issue)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+void BM_Restrict_Verify(benchmark::State& state) {
+  quiet_logs();
+  const bool restricted = state.range(0) != 0;
+  state.SetLabel(restricted ? "restricted" : "plain");
+  const gsi::Credential proxy =
+      gsi::create_proxy(user(), options_for(restricted));
+  const auto chain = proxy.full_chain();
+  const auto store = vo().trust_store();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.verify(chain));
+  }
+}
+BENCHMARK(BM_Restrict_Verify)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+void BM_Restrict_Enforce(benchmark::State& state) {
+  // What the resource pays to answer "does this chain grant job-submit?".
+  quiet_logs();
+  const gsi::Credential proxy = gsi::create_proxy(user(), options_for(true));
+  const auto id = vo().trust_store().verify(proxy.full_chain());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(id.policy->allows("job-submit"));
+    benchmark::DoNotOptimize(id.policy->allows("nonexistent-right"));
+  }
+}
+BENCHMARK(BM_Restrict_Enforce)->Unit(benchmark::kNanosecond);
+
+void BM_Restrict_PolicyCompose(benchmark::State& state) {
+  // Intersection across a delegation chain of <n> restricted links.
+  const auto a = pki::RestrictionPolicy::parse(
+      "rights=r1,r2,r3,r4,r5,r6,r7,r8");
+  const auto b = pki::RestrictionPolicy::parse("rights=r2,r4,r6,r8,r10");
+  for (auto _ : state) {
+    pki::EffectivePolicy chain;
+    for (std::int64_t i = 0; i < state.range(0); ++i) {
+      chain = pki::compose(chain, (i % 2 == 0) ? a : b);
+    }
+    benchmark::DoNotOptimize(chain);
+  }
+}
+BENCHMARK(BM_Restrict_PolicyCompose)
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kNanosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

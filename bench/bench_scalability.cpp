@@ -1,0 +1,93 @@
+// SCALE — §3.3 "It should be scalable."
+//
+// Throughput of myproxy-get-delegation against one repository as the number
+// of concurrent clients grows (multiple portals sharing one repository),
+// plus the same load split across two repositories (a portal using
+// multiple systems).
+//
+// Series reported:
+//   BM_Scale_ConcurrentGets/<threads>      — ops/s vs concurrency, 1 repo
+//   BM_Scale_TwoRepositories/<threads>     — same load over 2 repos
+// Expected shape: throughput rises with concurrency until the repository's
+// worker pool and the single host's crypto throughput saturate; two
+// repositories lift the ceiling — the paper's scaling story.
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace myproxy;         // NOLINT(google-build-using-namespace)
+using namespace myproxy::bench;  // NOLINT(google-build-using-namespace)
+
+struct ScaleWorld {
+  VirtualOrganization vo;
+  std::unique_ptr<RepositoryFixture> repo_a;
+  std::unique_ptr<RepositoryFixture> repo_b;
+  gsi::Credential portal_cred{};
+
+  ScaleWorld() {
+    quiet_logs();
+    repo_a = std::make_unique<RepositoryFixture>(vo, bench_policy(),
+                                                 /*worker_threads=*/8);
+    repo_b = std::make_unique<RepositoryFixture>(vo, bench_policy(),
+                                                 /*worker_threads=*/8);
+    portal_cred = vo.portal("scale-portal");
+    const gsi::Credential alice = vo.user("scale-alice");
+    put_credential(vo, *repo_a, alice, "alice");
+    put_credential(vo, *repo_b, alice, "alice");
+  }
+};
+
+ScaleWorld& world() {
+  static ScaleWorld instance;
+  return instance;
+}
+
+void BM_Scale_ConcurrentGets(benchmark::State& state) {
+  auto& w = world();
+  // One client object per thread (clients are not thread-safe by design —
+  // each portal worker owns its connection).
+  client::MyProxyClient client(w.portal_cred, w.vo.trust_store(),
+                               w.repo_a->server->port());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.get("alice", kPhrase));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Scale_ConcurrentGets)
+    ->ThreadRange(1, 8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_Scale_TwoRepositories(benchmark::State& state) {
+  auto& w = world();
+  // Even threads hit repository A, odd threads repository B.
+  const std::uint16_t port = (state.thread_index() % 2 == 0)
+                                 ? w.repo_a->server->port()
+                                 : w.repo_b->server->port();
+  client::MyProxyClient client(w.portal_cred, w.vo.trust_store(), port);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.get("alice", kPhrase));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Scale_TwoRepositories)
+    ->ThreadRange(2, 8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_Scale_RepeatedSessions(benchmark::State& state) {
+  // §4.3: "This process could then be repeated as many times as the user
+  // desires" — sustained single-client retrieval rate.
+  auto& w = world();
+  client::MyProxyClient client(w.portal_cred, w.vo.trust_store(),
+                               w.repo_a->server->port());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.get("alice", kPhrase));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Scale_RepeatedSessions)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

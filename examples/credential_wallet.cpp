@@ -1,0 +1,72 @@
+// §6.2 "electronic wallet": one MyProxy account holding several credentials
+// with task tags; the repository selects the right credential for a task
+// and §6.5 restrictions confine what each delegation may do.
+#include <iostream>
+
+#include "client/myproxy_client.hpp"
+#include "common/error.hpp"
+#include "example_util.hpp"
+#include "grid/resource_service.hpp"
+#include "gsi/proxy.hpp"
+
+int main() {
+  using namespace myproxy;  // NOLINT(google-build-using-namespace) example
+  using examples::banner;
+
+  examples::VirtualOrganization vo;
+  examples::RepositoryFixture myproxy_fixture(vo);
+  const std::uint16_t port = myproxy_fixture.server->port();
+
+  const gsi::Credential alice = vo.user("Alice");
+  const gsi::Credential alice_proxy = gsi::create_proxy(alice);
+  client::MyProxyClient alice_client(alice_proxy, vo.trust_store(), port);
+
+  banner("filling the wallet");
+  // Default credential: unrestricted.
+  alice_client.put("alice", "correct horse battery", alice_proxy);
+  // Compute credential: job rights only.
+  client::PutOptions compute;
+  compute.credential_name = "compute";
+  compute.task_tags = "simulation,analysis";
+  compute.restriction = "rights=job-submit,job-status";
+  alice_client.put("alice", "correct horse battery", alice_proxy, compute);
+  // Transfer credential: file rights only, always limited.
+  client::PutOptions transfer;
+  transfer.credential_name = "transfer";
+  transfer.task_tags = "transfer";
+  transfer.restriction = "rights=file-read,file-write";
+  alice_client.put("alice", "correct horse battery", alice_proxy, transfer);
+
+  for (const auto& name : alice_client.list("alice")) {
+    std::cout << "wallet slot: " << name << "\n";
+  }
+
+  banner("task-based selection (§6.2)");
+  for (const std::string task : {"simulation", "transfer", "unknown-task"}) {
+    std::cout << "task '" << task << "' -> credential '"
+              << alice_client.select_for_task("alice", task) << "'\n";
+  }
+
+  banner("delegations are confined by their slot's restriction (§6.5)");
+  const gsi::Credential portal = vo.portal("portal-1");
+  client::MyProxyClient portal_client(portal, vo.trust_store(), port);
+  client::GetOptions get;
+  get.credential_name = "compute";
+  const gsi::Credential compute_proxy =
+      portal_client.get("alice", "correct horse battery", get);
+  const auto verified = vo.trust_store().verify(compute_proxy.full_chain());
+  std::cout << "compute delegation rights: "
+            << (verified.policy.has_value() ? verified.policy->str()
+                                            : "(unrestricted)")
+            << "\n";
+  std::cout << "  job-submit allowed? "
+            << (!verified.policy || verified.policy->allows("job-submit")
+                    ? "yes"
+                    : "no")
+            << "\n  file-write allowed? "
+            << (!verified.policy || verified.policy->allows("file-write")
+                    ? "yes"
+                    : "no")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Shared scaffolding for the examples: an in-process Grid (CA, trust store,
+// credential factory) so each example can focus on its scenario.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "common/clock.hpp"
+#include "gsi/credential.hpp"
+#include "pki/certificate_authority.hpp"
+#include "pki/trust_store.hpp"
+#include "repository/repository.hpp"
+#include "server/myproxy_server.hpp"
+
+namespace myproxy::examples {
+
+/// One toy virtual organization: a CA and helpers to enroll members.
+class VirtualOrganization {
+ public:
+  VirtualOrganization()
+      : ca_(pki::CertificateAuthority::create(
+            pki::DistinguishedName::parse("/C=US/O=Grid/CN=Example CA"),
+            crypto::KeySpec::ec())) {}
+
+  [[nodiscard]] pki::TrustStore trust_store() const {
+    pki::TrustStore store;
+    store.add_root(ca_.certificate());
+    return store;
+  }
+
+  [[nodiscard]] gsi::Credential enroll(const std::string& ou,
+                                       const std::string& cn) {
+    const auto dn =
+        pki::DistinguishedName::parse("/C=US/O=Grid/OU=" + ou + "/CN=" + cn);
+    auto key = crypto::KeyPair::generate(crypto::KeySpec::ec());
+    auto cert = ca_.issue(dn, key, Seconds(365L * 24 * 3600));
+    return gsi::Credential(std::move(cert), std::move(key));
+  }
+
+  [[nodiscard]] gsi::Credential user(const std::string& cn) {
+    return enroll("People", cn);
+  }
+  [[nodiscard]] gsi::Credential service(const std::string& cn) {
+    return enroll("Services", cn);
+  }
+  [[nodiscard]] gsi::Credential portal(const std::string& cn) {
+    return enroll("Portals", cn);
+  }
+
+ private:
+  pki::CertificateAuthority ca_;
+};
+
+/// A running MyProxy repository with permissive example ACLs.
+struct RepositoryFixture {
+  std::shared_ptr<repository::Repository> repository;
+  std::unique_ptr<server::MyProxyServer> server;
+
+  explicit RepositoryFixture(VirtualOrganization& vo,
+                             const std::string& host_cn = "myproxy") {
+    repository::RepositoryPolicy policy;
+    policy.kdf_iterations = 1000;
+    repository = std::make_shared<repository::Repository>(
+        std::make_unique<repository::MemoryCredentialStore>(), policy);
+
+    server::ServerConfig config;
+    config.accepted_credentials.add("/C=US/O=Grid/OU=People/*");
+    config.authorized_retrievers.add("/C=US/O=Grid/OU=People/*");
+    config.authorized_retrievers.add("/C=US/O=Grid/OU=Portals/*");
+    config.authorized_renewers.add("/C=US/O=Grid/OU=People/*");
+    server = std::make_unique<server::MyProxyServer>(
+        vo.service(host_cn), vo.trust_store(), repository, config);
+    server->start();
+  }
+
+  ~RepositoryFixture() {
+    if (server != nullptr) server->stop();
+  }
+};
+
+inline void banner(const std::string& text) {
+  std::cout << "\n=== " << text << " ===\n";
+}
+
+}  // namespace myproxy::examples

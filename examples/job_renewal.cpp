@@ -1,0 +1,83 @@
+// §6.6 scenario (Condor-G support): a computational job outlives the proxy
+// it started with. Instead of e-mailing the user, the renewal service uses
+// the job's current (still-valid) proxy to fetch a fresh delegation from
+// MyProxy and installs it into the job — unattended.
+//
+// The example warps the library clock to compress hours into milliseconds.
+#include <iostream>
+
+#include "client/myproxy_client.hpp"
+#include "common/error.hpp"
+#include "example_util.hpp"
+#include "grid/renewal_service.hpp"
+#include "grid/resource_service.hpp"
+#include "gsi/proxy.hpp"
+
+int main() {
+  using namespace myproxy;  // NOLINT(google-build-using-namespace) example
+  using examples::banner;
+
+  examples::VirtualOrganization vo;
+  examples::RepositoryFixture myproxy_fixture(vo);
+
+  gsi::Gridmap gridmap;
+  gridmap.add("/C=US/O=Grid/OU=People/*", "hpc");
+  grid::ResourceService resource(vo.service("batch.grid"), vo.trust_store(),
+                                 std::move(gridmap));
+  resource.start();
+
+  // --- Alice stores a *renewable* credential --------------------------------
+  banner("myproxy-init with a renewal policy");
+  const gsi::Credential alice = vo.user("Alice");
+  const gsi::Credential alice_proxy = gsi::create_proxy(alice);
+  client::MyProxyClient init_client(alice_proxy, vo.trust_store(),
+                                    myproxy_fixture.server->port());
+  client::PutOptions put;
+  put.renewer_patterns = {alice.identity().str()};  // her own live proxies
+  put.max_delegation_lifetime = Seconds(4 * 3600);
+  init_client.put("alice", "correct horse battery", alice_proxy, put);
+  std::cout << "stored renewable credential for 'alice'\n";
+
+  // --- A job starts with a 1-hour proxy --------------------------------------
+  banner("job submission with a 1-hour proxy");
+  gsi::ProxyOptions one_hour;
+  one_hour.lifetime = Seconds(3600);
+  const gsi::Credential job_proxy = gsi::create_proxy(alice, one_hour);
+  grid::ResourceClient submit_client(job_proxy, vo.trust_store(),
+                                     resource.port());
+  const std::string job_id = submit_client.submit_job("simulate --days 7");
+  std::cout << job_id << " submitted; credential expires "
+            << format_utc(resource.job(job_id)->credential_expires) << "\n";
+
+  // --- 50 minutes later the renewal service sweeps --------------------------
+  banner("50 minutes later: renewal sweep");
+  VirtualClock::instance().advance(Seconds(50 * 60));
+  grid::RenewalService renewal(
+      resource, myproxy_fixture.server->port(), vo.trust_store(),
+      [&alice](std::string_view dn) -> std::optional<std::string> {
+        return dn == alice.identity().str()
+                   ? std::optional<std::string>("alice")
+                   : std::nullopt;
+      },
+      /*renew_threshold=*/Seconds(15 * 60));
+  const auto pass = renewal.run_once();
+  std::cout << "checked " << pass.jobs_checked << ", renewed "
+            << pass.renewed << ", failed " << pass.failed << "\n";
+  std::cout << "job credential now expires "
+            << format_utc(resource.job(job_id)->credential_expires) << "\n";
+
+  // --- Without renewal the job would have died ------------------------------
+  banner("2 hours in: job still healthy");
+  VirtualClock::instance().advance(Seconds(70 * 60));
+  resource.expire_stale_jobs();
+  const auto job = resource.job(job_id);
+  std::cout << "job state: "
+            << (job->state == grid::JobState::kRunning
+                    ? "running (renewed credential carried it)"
+                    : "credential-expired")
+            << "\n";
+
+  VirtualClock::instance().reset();
+  resource.stop();
+  return job->state == grid::JobState::kRunning ? 0 : 1;
+}

@@ -1,0 +1,102 @@
+// Scalability shapes from §3.3: "Multiple portals should be able to use a
+// single system ... and a portal should be able to use multiple systems in
+// the case of a portal that supports users from multiple domains."
+//
+// This example runs two repositories (domains A and B) and two portals.
+// Portal-1 serves both domains (multiple repositories); both portals share
+// repository A (multiple portals, one repository).
+#include <iostream>
+
+#include "client/myproxy_client.hpp"
+#include "common/error.hpp"
+#include "example_util.hpp"
+#include "gsi/proxy.hpp"
+#include "portal/grid_portal.hpp"
+#include "grid/resource_service.hpp"
+
+int main() {
+  using namespace myproxy;  // NOLINT(google-build-using-namespace) example
+  using examples::banner;
+
+  examples::VirtualOrganization vo;
+  examples::RepositoryFixture repo_a(vo, "myproxy.domain-a");
+  examples::RepositoryFixture repo_b(vo, "myproxy.domain-b");
+
+  gsi::Gridmap gridmap;
+  gridmap.add("/C=US/O=Grid/OU=People/*", "users");
+  grid::ResourceService resource(vo.service("compute"), vo.trust_store(),
+                                 std::move(gridmap));
+  resource.start();
+
+  // Portal-1 knows both repositories; portal-2 only domain A.
+  portal::PortalConfig config1;
+  config1.repositories = {{"domain-a", repo_a.server->port()},
+                          {"domain-b", repo_b.server->port()}};
+  config1.resource_port = resource.port();
+  portal::GridPortal portal1(vo.portal("portal-1"), vo.trust_store(),
+                             config1);
+  portal1.start();
+
+  portal::PortalConfig config2;
+  config2.repositories = {{"domain-a", repo_a.server->port()}};
+  config2.resource_port = resource.port();
+  portal::GridPortal portal2(vo.portal("portal-2"), vo.trust_store(),
+                             config2);
+  portal2.start();
+
+  // Users in two domains store credentials in their domain's repository.
+  const gsi::Credential ana = vo.user("Ana");     // domain A
+  const gsi::Credential boris = vo.user("Boris");  // domain B
+  const auto store = [&vo](const gsi::Credential& user,
+                           const std::string& account,
+                           std::uint16_t port) {
+    const gsi::Credential proxy = gsi::create_proxy(user);
+    client::MyProxyClient client(proxy, vo.trust_store(), port);
+    client.put(account, "correct horse battery", proxy);
+  };
+  store(ana, "ana", repo_a.server->port());
+  store(boris, "boris", repo_b.server->port());
+
+  banner("multiple portals -> one repository (domain A)");
+  for (auto* portal : {&portal1, &portal2}) {
+    portal::Browser browser(portal->port());
+    const auto response = browser.follow(browser.post_form(
+        "/login", {{"username", "ana"},
+                   {"passphrase", "correct horse battery"},
+                   {"repository", "domain-a"}}));
+    std::cout << "ana via portal on port " << portal->port() << " -> HTTP "
+              << response.status << " ("
+              << (browser.cookies().empty() ? "no session" : "session ok")
+              << ")\n";
+  }
+  std::cout << "repository A stats: "
+            << repo_a.server->stats().gets.load() << " retrievals\n";
+
+  banner("one portal -> multiple repositories (portal-1, domain B)");
+  portal::Browser browser(portal1.port());
+  const auto response = browser.follow(browser.post_form(
+      "/login", {{"username", "boris"},
+                 {"passphrase", "correct horse battery"},
+                 {"repository", "domain-b"}}));
+  std::cout << "boris via portal-1 against repository B -> HTTP "
+            << response.status << "\n";
+  std::cout << "repository B stats: "
+            << repo_b.server->stats().gets.load() << " retrievals\n";
+
+  banner("isolation: portal-2 cannot reach domain B accounts");
+  portal::Browser browser2(portal2.port());
+  const auto refused = browser2.post_form(
+      "/login", {{"username", "boris"},
+                 {"passphrase", "correct horse battery"},
+                 {"repository", "domain-a"}});
+  std::cout << "boris via portal-2 (wrong repository) -> "
+            << (refused.body.find("Login failed") != std::string::npos
+                    ? "refused as expected"
+                    : "UNEXPECTEDLY ACCEPTED")
+            << "\n";
+
+  portal1.stop();
+  portal2.stop();
+  resource.stop();
+  return 0;
+}

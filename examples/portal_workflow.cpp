@@ -1,0 +1,87 @@
+// The paper's headline scenario (Figure 3): a user at "an airport kiosk"
+// drives the Grid through a web portal using nothing but a browser and a
+// pass phrase.
+//
+//   earlier  — Alice runs myproxy-init from her workstation;
+//   step 1   — the browser sends user name + pass phrase to the portal
+//              over HTTPS;
+//   step 2/3 — the portal retrieves a delegation from MyProxy;
+//   then     — the portal submits a job and stores a file at a
+//              GSI-protected Grid resource as Alice, and logout deletes the
+//              delegated credential.
+#include <iostream>
+
+#include "client/myproxy_client.hpp"
+#include "common/error.hpp"
+#include "example_util.hpp"
+#include "grid/resource_service.hpp"
+#include "gsi/proxy.hpp"
+#include "portal/grid_portal.hpp"
+
+int main() {
+  using namespace myproxy;  // NOLINT(google-build-using-namespace) example
+  using examples::banner;
+
+  examples::VirtualOrganization vo;
+
+  // --- Infrastructure: repository, Grid resource, portal -------------------
+  examples::RepositoryFixture myproxy_fixture(vo);
+
+  gsi::Gridmap gridmap;
+  gridmap.add("/C=US/O=Grid/OU=People/*", "gridusers");
+  grid::ResourceService resource(vo.service("compute.grid"),
+                                 vo.trust_store(), std::move(gridmap));
+  resource.start();
+
+  portal::PortalConfig portal_config;
+  portal_config.repositories = {{"ncsa", myproxy_fixture.server->port()}};
+  portal_config.resource_port = resource.port();
+  portal::GridPortal grid_portal(vo.portal("hotpage"), vo.trust_store(),
+                                 portal_config);
+  grid_portal.start();
+  std::cout << "portal https on port " << grid_portal.port()
+            << ", resource on port " << resource.port() << "\n";
+
+  // --- Earlier, at her workstation: myproxy-init ---------------------------
+  banner("myproxy-init from Alice's workstation");
+  const gsi::Credential alice = vo.user("Alice");
+  const gsi::Credential alice_proxy = gsi::create_proxy(alice);
+  client::MyProxyClient init_client(alice_proxy, vo.trust_store(),
+                                    myproxy_fixture.server->port());
+  init_client.put("alice", "correct horse battery", alice_proxy);
+  std::cout << "credential stored under account 'alice'\n";
+
+  // --- Later, from the kiosk browser ----------------------------------------
+  banner("Figure 3 step 1: browser login at the portal");
+  portal::Browser browser(grid_portal.port());
+  auto response = browser.post_form(
+      "/login", {{"username", "alice"},
+                 {"passphrase", "correct horse battery"},
+                 {"repository", "ncsa"}});
+  response = browser.follow(std::move(response));
+  std::cout << "login -> HTTP " << response.status << ", session cookie "
+            << (browser.cookies().empty() ? "missing" : "set") << "\n";
+
+  banner("portal acts on the Grid as Alice");
+  response = browser.post_form("/submit", {{"command", "run-simulation"}});
+  std::cout << "job submission -> HTTP " << response.status << "\n";
+  response = browser.post_form(
+      "/store", {{"name", "results.txt"}, {"content", "42"}});
+  std::cout << "file store -> HTTP " << response.status << "\n";
+
+  const auto jobs = resource.jobs_for(alice.identity().str());
+  std::cout << "resource sees " << jobs.size() << " job(s) owned by "
+            << alice.identity().str() << "\n";
+  std::cout << "stored file content: "
+            << resource.stored_file("gridusers", "results.txt").value_or("?")
+            << "\n";
+
+  banner("logout deletes the delegated credential (§4.3)");
+  (void)browser.post_form("/logout", {});
+  std::cout << "sessions remaining on portal: "
+            << grid_portal.sessions().size() << "\n";
+
+  grid_portal.stop();
+  resource.stop();
+  return 0;
+}

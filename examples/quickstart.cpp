@@ -1,0 +1,69 @@
+// Quickstart: the paper's two basic operations (Figures 1 and 2) against an
+// in-process repository.
+//
+//   1. Alice delegates a week-long proxy to the MyProxy repository
+//      (myproxy-init, Figure 1).
+//   2. Later — from anywhere — a client holding only its own credentials
+//      plus Alice's user name and pass phrase retrieves a short-lived
+//      delegation (myproxy-get-delegation, Figure 2).
+//   3. The delegated proxy verifies back to the CA like any GSI credential.
+//   4. Alice destroys her stored credential (myproxy-destroy).
+#include <iostream>
+
+#include "client/myproxy_client.hpp"
+#include "common/error.hpp"
+#include "example_util.hpp"
+#include "gsi/proxy.hpp"
+
+int main() {
+  using namespace myproxy;  // NOLINT(google-build-using-namespace) example
+  using examples::banner;
+
+  examples::VirtualOrganization vo;
+  examples::RepositoryFixture myproxy_fixture(vo);
+  const std::uint16_t port = myproxy_fixture.server->port();
+  std::cout << "MyProxy repository running on port " << port << "\n";
+
+  // --- Figure 1: myproxy-init ----------------------------------------------
+  banner("myproxy-init: Alice delegates a proxy to the repository");
+  const gsi::Credential alice = vo.user("Alice");
+  gsi::ProxyOptions week;
+  week.lifetime = Seconds(7 * 24 * 3600);
+  const gsi::Credential alice_proxy = gsi::create_proxy(alice, week);
+
+  client::MyProxyClient init_client(alice_proxy, vo.trust_store(), port);
+  init_client.put("alice", "correct horse battery", alice_proxy);
+  std::cout << "stored credential for 'alice' ("
+            << alice.identity().str() << ")\n";
+
+  // --- Figure 2: myproxy-get-delegation ------------------------------------
+  banner("myproxy-get-delegation: a portal retrieves a delegation");
+  const gsi::Credential portal = vo.portal("portal-1");
+  client::MyProxyClient get_client(portal, vo.trust_store(), port);
+  client::GetOptions options;
+  options.lifetime = Seconds(2 * 3600);  // "a few hours" (§4.3)
+  const gsi::Credential delegated =
+      get_client.get("alice", "correct horse battery", options);
+
+  std::cout << "delegated identity:  " << delegated.identity().str() << "\n"
+            << "delegation depth:    " << delegated.delegation_depth() << "\n"
+            << "remaining lifetime:  "
+            << format_duration(delegated.remaining_lifetime()) << "\n";
+
+  // --- The delegation verifies like any Grid credential --------------------
+  banner("GSI verification at a relying party");
+  const auto identity = vo.trust_store().verify(delegated.full_chain());
+  std::cout << "verified Grid identity: " << identity.identity.str()
+            << " (proxy depth " << identity.proxy_depth << ")\n";
+
+  // --- myproxy-destroy -------------------------------------------------------
+  banner("myproxy-destroy");
+  init_client.destroy("alice");
+  try {
+    (void)get_client.get("alice", "correct horse battery", options);
+  } catch (const myproxy::Error& e) {
+    std::cout << "retrieval after destroy correctly fails: " << e.what()
+              << "\n";
+  }
+  return 0;
+}

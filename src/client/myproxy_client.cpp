@@ -1,0 +1,262 @@
+#include "client/myproxy_client.hpp"
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+#include "net/socket.hpp"
+
+namespace myproxy::client {
+
+namespace {
+
+constexpr std::string_view kLogComponent = "client";
+
+using protocol::AuthMode;
+using protocol::Command;
+using protocol::Request;
+using protocol::Response;
+
+std::int64_t field_int(const Response& response, const std::string& key) {
+  const auto it = response.fields.find(key);
+  if (it == response.fields.end()) {
+    throw ProtocolError(fmt::format("response missing field '{}'", key));
+  }
+  return std::stoll(it->second);
+}
+
+}  // namespace
+
+MyProxyClient::MyProxyClient(gsi::Credential credential,
+                             pki::TrustStore trust_store, std::uint16_t port)
+    : credential_(std::move(credential)),
+      trust_store_(std::move(trust_store)),
+      tls_context_(tls::TlsContext::make(credential_)),
+      port_(port) {}
+
+std::unique_ptr<tls::TlsChannel> MyProxyClient::connect() {
+  auto channel =
+      tls::TlsChannel::connect(tls_context_, net::tcp_connect(port_));
+  // Mutual authentication (§5.1): verify the repository's credentials so a
+  // fake server cannot harvest pass phrases.
+  const pki::VerifiedIdentity server =
+      trust_store_.verify(channel->peer_chain());
+  server_identity_ = server.identity;
+  log::debug(kLogComponent, "connected to repository '{}'",
+             server.identity.str());
+  return channel;
+}
+
+Response MyProxyClient::transact(tls::TlsChannel& channel,
+                                 const Request& request) {
+  channel.send(request.serialize());
+  const Response response = Response::parse(channel.receive());
+  if (!response.ok()) {
+    throw Error(ErrorCode::kProtocol,
+                fmt::format("server refused {}: {}",
+                            to_string(request.command), response.error));
+  }
+  return response;
+}
+
+void MyProxyClient::put(std::string_view username,
+                        std::string_view pass_phrase,
+                        const gsi::Credential& source,
+                        const PutOptions& options) {
+  auto channel = connect();
+  Request request;
+  request.command = Command::kPut;
+  request.username = std::string(username);
+  request.passphrase = std::string(pass_phrase);
+  request.auth_mode =
+      options.use_otp ? AuthMode::kOtp : AuthMode::kPassphrase;
+  request.lifetime = options.max_delegation_lifetime;
+  request.credential_name = options.credential_name;
+  request.retriever_patterns = options.retriever_patterns;
+  request.renewer_patterns = options.renewer_patterns;
+  request.want_limited = options.always_limited;
+  request.restriction = options.restriction;
+  request.task = options.task_tags;
+  (void)transact(*channel, request);
+
+  // Server sends its CSR; we sign a proxy of `source` for it (Figure 1).
+  const std::string csr_pem = channel->receive();
+  gsi::ProxyOptions proxy_options;
+  proxy_options.lifetime = options.stored_lifetime;
+  const std::string chain_pem =
+      gsi::delegate_credential(source, csr_pem, proxy_options);
+  channel->send(chain_pem);
+
+  const Response final_response = Response::parse(channel->receive());
+  if (!final_response.ok()) {
+    throw Error(ErrorCode::kProtocol,
+                fmt::format("server refused stored credential: {}",
+                            final_response.error));
+  }
+  log::info(kLogComponent, "delegated credential to repository as '{}'",
+            username);
+}
+
+gsi::Credential MyProxyClient::get(std::string_view username,
+                                   std::string_view pass_phrase,
+                                   const GetOptions& options) {
+  auto channel = connect();
+  Request request;
+  request.command = Command::kGet;
+  request.username = std::string(username);
+  request.passphrase = std::string(pass_phrase);
+  request.auth_mode = options.otp ? AuthMode::kOtp : AuthMode::kPassphrase;
+  request.lifetime = options.lifetime;
+  request.credential_name = options.credential_name;
+  request.want_limited = options.want_limited;
+  (void)transact(*channel, request);
+
+  // We are the delegation receiver (Figure 2): fresh key, CSR out, chain in.
+  gsi::DelegationRequest delegation = gsi::begin_delegation(options.key_spec);
+  channel->send(delegation.csr_pem);
+  const std::string chain_pem = channel->receive();
+  gsi::Credential delegated =
+      gsi::complete_delegation(std::move(delegation.key), chain_pem);
+  log::info(kLogComponent, "received delegation for '{}' (expires {})",
+            username, format_utc(delegated.not_after()));
+  return delegated;
+}
+
+gsi::Credential MyProxyClient::renew(std::string_view username,
+                                     const GetOptions& options) {
+  auto channel = connect();
+  Request request;
+  request.command = Command::kRenew;
+  request.username = std::string(username);
+  request.lifetime = options.lifetime;
+  request.credential_name = options.credential_name;
+  request.want_limited = options.want_limited;
+  (void)transact(*channel, request);
+
+  gsi::DelegationRequest delegation = gsi::begin_delegation(options.key_spec);
+  channel->send(delegation.csr_pem);
+  const std::string chain_pem = channel->receive();
+  return gsi::complete_delegation(std::move(delegation.key), chain_pem);
+}
+
+void MyProxyClient::destroy(std::string_view username,
+                            std::string_view name) {
+  auto channel = connect();
+  Request request;
+  request.command = Command::kDestroy;
+  request.username = std::string(username);
+  request.credential_name = std::string(name);
+  (void)transact(*channel, request);
+}
+
+StoredCredentialInfo MyProxyClient::info(std::string_view username,
+                                         std::string_view name) {
+  auto channel = connect();
+  Request request;
+  request.command = Command::kInfo;
+  request.username = std::string(username);
+  request.credential_name = std::string(name);
+  const Response response = transact(*channel, request);
+
+  StoredCredentialInfo out;
+  const auto owner = response.fields.find("OWNER");
+  if (owner != response.fields.end()) out.owner_dn = owner->second;
+  out.not_after = from_unix(field_int(response, "NOT_AFTER"));
+  out.created_at = from_unix(field_int(response, "CREATED_AT"));
+  out.max_delegation_lifetime = Seconds(field_int(response, "MAX_LIFETIME"));
+  const auto sealing = response.fields.find("SEALING");
+  if (sealing != response.fields.end()) out.sealing = sealing->second;
+  out.limited = response.fields.count("LIMITED") != 0;
+  const auto restriction = response.fields.find("RESTRICTION");
+  if (restriction != response.fields.end()) {
+    out.restriction = restriction->second;
+  }
+  const auto otp = response.fields.find("OTP_REMAINING");
+  if (otp != response.fields.end()) {
+    out.otp_remaining = static_cast<std::uint32_t>(std::stoul(otp->second));
+  }
+  return out;
+}
+
+std::vector<std::string> MyProxyClient::list(std::string_view username) {
+  auto channel = connect();
+  Request request;
+  request.command = Command::kList;
+  request.username = std::string(username);
+  const Response response = transact(*channel, request);
+  const auto names = response.fields.find("NAMES");
+  if (names == response.fields.end()) return {};
+  return strings::split(names->second, '\x1f');
+}
+
+std::string MyProxyClient::select_for_task(std::string_view username,
+                                           std::string_view task) {
+  auto channel = connect();
+  Request request;
+  request.command = Command::kList;
+  request.username = std::string(username);
+  request.task = std::string(task);
+  const Response response = transact(*channel, request);
+  const auto selected = response.fields.find("SELECTED");
+  if (selected == response.fields.end()) {
+    throw ProtocolError("server response missing SELECTED field");
+  }
+  return selected->second;
+}
+
+void MyProxyClient::change_passphrase(std::string_view username,
+                                      std::string_view old_phrase,
+                                      std::string_view new_phrase,
+                                      std::string_view name) {
+  auto channel = connect();
+  Request request;
+  request.command = Command::kChangePassphrase;
+  request.username = std::string(username);
+  request.passphrase = std::string(old_phrase);
+  request.new_passphrase = std::string(new_phrase);
+  request.credential_name = std::string(name);
+  (void)transact(*channel, request);
+}
+
+void MyProxyClient::store(std::string_view username,
+                          std::string_view pass_phrase,
+                          const gsi::Credential& credential,
+                          const PutOptions& options) {
+  auto channel = connect();
+  Request request;
+  request.command = Command::kStore;
+  request.username = std::string(username);
+  request.passphrase = std::string(pass_phrase);
+  request.lifetime = options.max_delegation_lifetime;
+  request.credential_name = options.credential_name;
+  request.retriever_patterns = options.retriever_patterns;
+  request.renewer_patterns = options.renewer_patterns;
+  request.restriction = options.restriction;
+  request.task = options.task_tags;
+  (void)transact(*channel, request);
+
+  const SecureBuffer pem = credential.to_pem();
+  channel->send(pem.view());
+  const Response final_response = Response::parse(channel->receive());
+  if (!final_response.ok()) {
+    throw Error(ErrorCode::kProtocol,
+                fmt::format("server refused stored credential: {}",
+                            final_response.error));
+  }
+}
+
+gsi::Credential MyProxyClient::retrieve(std::string_view username,
+                                        std::string_view pass_phrase,
+                                        std::string_view name) {
+  auto channel = connect();
+  Request request;
+  request.command = Command::kRetrieve;
+  request.username = std::string(username);
+  request.passphrase = std::string(pass_phrase);
+  request.credential_name = std::string(name);
+  (void)transact(*channel, request);
+  const std::string pem = channel->receive();
+  return gsi::Credential::from_pem(pem);
+}
+
+}  // namespace myproxy::client

@@ -1,0 +1,142 @@
+// Client API behind the myproxy-* tools (paper §4.1-4.2, §4.4: "a client
+// API for accessing the MyProxy server").
+//
+// Every operation opens one mutually-authenticated TLS connection, performs
+// one protocol command, and closes — the original prototype's
+// one-command-per-connection model.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "gsi/credential.hpp"
+#include "gsi/proxy.hpp"
+#include "pki/trust_store.hpp"
+#include "protocol/message.hpp"
+#include "tls/tls_channel.hpp"
+
+namespace myproxy::client {
+
+/// myproxy-init parameters (Figure 1).
+struct PutOptions {
+  /// Lifetime of the proxy delegated to the repository (§4.1: "normally
+  /// ... a week. The user can change this to any length of time desired").
+  Seconds stored_lifetime = kDefaultRepositoryLifetime;
+
+  /// Retrieval restriction: the longest proxy the repository may delegate
+  /// on the user's behalf (§4.1).
+  Seconds max_delegation_lifetime{0};  ///< 0 = server default
+
+  std::string credential_name;  ///< wallet slot (§6.2)
+  std::vector<std::string> retriever_patterns;
+  std::vector<std::string> renewer_patterns;  ///< §6.6: arms renewal
+  bool always_limited = false;
+  std::optional<std::string> restriction;  ///< §6.5 "rights=..."
+  std::string task_tags;                   ///< §6.2 wallet tags
+  bool use_otp = false;  ///< §6.3: pass phrase becomes the OTP chain seed
+};
+
+/// myproxy-get-delegation parameters (Figure 2).
+struct GetOptions {
+  Seconds lifetime{0};  ///< 0 = server default ("a few hours", §4.3)
+  std::string credential_name;
+  bool want_limited = false;
+  bool otp = false;  ///< authenticate with an OTP word instead
+  /// Key type for the fresh proxy key pair generated on this side.
+  crypto::KeySpec key_spec = crypto::KeySpec::ec();
+};
+
+/// INFO result (metadata only; never key material).
+struct StoredCredentialInfo {
+  std::string owner_dn;
+  TimePoint created_at;
+  TimePoint not_after;
+  Seconds max_delegation_lifetime{0};
+  std::string sealing;
+  bool limited = false;
+  std::optional<std::string> restriction;
+  std::optional<std::uint32_t> otp_remaining;
+};
+
+class MyProxyClient {
+ public:
+  /// `credential`: this client's own Grid credential for the mutual TLS
+  /// authentication (a user proxy for myproxy-init, the portal's service
+  /// credential for retrievals — §4.3). `trust_store` authenticates the
+  /// repository in return (§5.1: "prevents an attacker from impersonating
+  /// the repository").
+  MyProxyClient(gsi::Credential credential, pki::TrustStore trust_store,
+                std::uint16_t port);
+
+  /// myproxy-init: create a proxy from `source` and delegate it to the
+  /// repository under (`username`, `pass_phrase`).
+  void put(std::string_view username, std::string_view pass_phrase,
+           const gsi::Credential& source, const PutOptions& options = {});
+
+  /// myproxy-get-delegation: retrieve a fresh delegated proxy.
+  [[nodiscard]] gsi::Credential get(std::string_view username,
+                                    std::string_view pass_phrase,
+                                    const GetOptions& options = {});
+
+  /// §6.6: refresh an expiring credential without a pass phrase. The TLS
+  /// client credential must be the identity that stored the credential
+  /// (e.g. the job's current proxy), and must pass the renewer ACLs.
+  [[nodiscard]] gsi::Credential renew(std::string_view username,
+                                      const GetOptions& options = {});
+
+  /// myproxy-destroy.
+  void destroy(std::string_view username, std::string_view name = {});
+
+  [[nodiscard]] StoredCredentialInfo info(std::string_view username,
+                                          std::string_view name = {});
+
+  /// Wallet listing (§6.2); "(default)" marks the unnamed slot.
+  [[nodiscard]] std::vector<std::string> list(std::string_view username);
+
+  /// Wallet selection (§6.2): name of the credential for `task`.
+  [[nodiscard]] std::string select_for_task(std::string_view username,
+                                            std::string_view task);
+
+  void change_passphrase(std::string_view username,
+                         std::string_view old_phrase,
+                         std::string_view new_phrase,
+                         std::string_view name = {});
+
+  /// §6.1: store a long-term credential (certificate AND key) for later
+  /// retrieval from anywhere.
+  void store(std::string_view username, std::string_view pass_phrase,
+             const gsi::Credential& credential,
+             const PutOptions& options = {});
+
+  /// §6.1: retrieve stored key material (owner only).
+  [[nodiscard]] gsi::Credential retrieve(std::string_view username,
+                                         std::string_view pass_phrase,
+                                         std::string_view name = {});
+
+  /// Identity of the repository server from the last connection (for
+  /// logging / tests of mutual authentication).
+  [[nodiscard]] const std::optional<pki::DistinguishedName>& server_identity()
+      const {
+    return server_identity_;
+  }
+
+ private:
+  /// Open a connection, run the TLS handshake, authenticate the server.
+  [[nodiscard]] std::unique_ptr<tls::TlsChannel> connect();
+
+  /// Send a request and insist on an OK first response.
+  [[nodiscard]] protocol::Response transact(tls::TlsChannel& channel,
+                                            const protocol::Request& request);
+
+  gsi::Credential credential_;
+  pki::TrustStore trust_store_;
+  tls::TlsContext tls_context_;
+  std::uint16_t port_;
+  std::optional<pki::DistinguishedName> server_identity_;
+};
+
+}  // namespace myproxy::client

@@ -1,0 +1,73 @@
+#include "common/clock.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <ctime>
+
+#include "common/format.hpp"
+
+namespace myproxy {
+
+VirtualClock& VirtualClock::instance() {
+  static VirtualClock clock;
+  return clock;
+}
+
+TimePoint VirtualClock::now() const {
+  return Clock::now() + Seconds(offset_seconds_.load(std::memory_order_relaxed));
+}
+
+void VirtualClock::advance(Seconds delta) {
+  offset_seconds_.fetch_add(delta.count(), std::memory_order_relaxed);
+}
+
+void VirtualClock::reset() {
+  offset_seconds_.store(0, std::memory_order_relaxed);
+}
+
+TimePoint now() { return VirtualClock::instance().now(); }
+
+std::string format_utc(TimePoint t) {
+  const std::time_t secs = Clock::to_time_t(std::chrono::floor<Seconds>(t));
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[32];
+  const std::size_t n = std::strftime(buf, sizeof(buf), "%FT%TZ", &tm);
+  return std::string(buf, n);
+}
+
+std::int64_t to_unix(TimePoint t) {
+  return std::chrono::duration_cast<Seconds>(t.time_since_epoch()).count();
+}
+
+TimePoint from_unix(std::int64_t seconds) {
+  return TimePoint(Seconds(seconds));
+}
+
+std::string format_duration(Seconds d) {
+  std::int64_t s = d.count();
+  const bool negative = s < 0;
+  if (negative) s = -s;
+  const std::int64_t days = s / 86400;
+  const std::int64_t hours = (s % 86400) / 3600;
+  const std::int64_t minutes = (s % 3600) / 60;
+  const std::int64_t seconds = s % 60;
+  std::string out = negative ? "-" : "";
+  bool printed = false;
+  if (days != 0) {
+    out += fmt::format("{}d", days);
+    printed = true;
+  }
+  if (hours != 0 || printed) {
+    out += fmt::format("{}{}h", printed ? " " : "", hours);
+    printed = true;
+  }
+  if (minutes != 0 || printed) {
+    out += fmt::format("{}{}m", printed ? " " : "", minutes);
+    printed = true;
+  }
+  out += fmt::format("{}{}s", printed ? " " : "", seconds);
+  return out;
+}
+
+}  // namespace myproxy

@@ -1,0 +1,68 @@
+// Time utilities. Credential lifetimes are the paper's primary security
+// knob (proxy lifetimes of hours, repository lifetimes of a week), so every
+// lifetime decision goes through one clock abstraction that tests can warp.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace myproxy {
+
+using Clock = std::chrono::system_clock;
+using TimePoint = Clock::time_point;
+using Seconds = std::chrono::seconds;
+
+/// Paper defaults (§4.1, §4.3): credentials delegated to the repository live
+/// a week; credentials delegated *from* the repository to a portal live a
+/// few hours.
+inline constexpr Seconds kDefaultRepositoryLifetime{7 * 24 * 3600};
+inline constexpr Seconds kDefaultDelegatedLifetime{12 * 3600};
+inline constexpr Seconds kDefaultProxyLifetime{12 * 3600};
+
+/// Injectable clock so tests and benchmarks can simulate credential expiry
+/// without sleeping. Thread-safe.
+class VirtualClock {
+ public:
+  /// Process-wide clock used by the library.
+  static VirtualClock& instance();
+
+  [[nodiscard]] TimePoint now() const;
+
+  /// Shift all subsequent now() results by `delta` (cumulative).
+  void advance(Seconds delta);
+
+  /// Remove any warp; now() returns real time again.
+  void reset();
+
+ private:
+  VirtualClock() = default;
+  std::atomic<std::int64_t> offset_seconds_{0};
+};
+
+/// Library-wide "now"; equals real time unless a test warped the clock.
+[[nodiscard]] TimePoint now();
+
+/// RAII clock warp for tests: advances on construction, resets on scope exit.
+class ScopedClockAdvance {
+ public:
+  explicit ScopedClockAdvance(Seconds delta) {
+    VirtualClock::instance().advance(delta);
+  }
+  ~ScopedClockAdvance() { VirtualClock::instance().reset(); }
+  ScopedClockAdvance(const ScopedClockAdvance&) = delete;
+  ScopedClockAdvance& operator=(const ScopedClockAdvance&) = delete;
+};
+
+/// ISO-8601 UTC, e.g. "2001-08-06T17:00:00Z".
+[[nodiscard]] std::string format_utc(TimePoint t);
+
+/// Seconds since the epoch (for wire / storage formats).
+[[nodiscard]] std::int64_t to_unix(TimePoint t);
+[[nodiscard]] TimePoint from_unix(std::int64_t seconds);
+
+/// Render a duration as "3d 4h 5m 6s" for logs and tool output.
+[[nodiscard]] std::string format_duration(Seconds d);
+
+}  // namespace myproxy

@@ -1,0 +1,144 @@
+#include "common/config.hpp"
+
+#include <charconv>
+#include "common/format.hpp"
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace myproxy {
+
+namespace {
+
+// Tokenize one config line into words, honoring double quotes.
+std::vector<std::string> tokenize(std::string_view line, int line_no) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i])) != 0) {
+      ++i;
+    }
+    if (i >= line.size()) break;
+    if (line[i] == '"') {
+      const std::size_t end = line.find('"', i + 1);
+      if (end == std::string_view::npos) {
+        throw ConfigError(
+            fmt::format("line {}: unterminated quoted string", line_no));
+      }
+      tokens.emplace_back(line.substr(i + 1, end - i - 1));
+      i = end + 1;
+    } else {
+      std::size_t end = i;
+      while (end < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[end])) == 0) {
+        ++end;
+      }
+      tokens.emplace_back(line.substr(i, end - i));
+      i = end;
+    }
+  }
+  return tokens;
+}
+
+}  // namespace
+
+Config Config::parse(std::string_view text) {
+  Config config;
+  int line_no = 0;
+  for (const auto& raw_line : strings::split(text, '\n')) {
+    ++line_no;
+    std::string_view line = strings::trim(raw_line);
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) {
+      line = strings::trim(line.substr(0, hash));
+    }
+    if (line.empty()) continue;
+    const auto tokens = tokenize(line, line_no);
+    if (tokens.empty()) continue;
+    if (tokens.size() == 1) {
+      throw ConfigError(
+          fmt::format("line {}: key '{}' has no value", line_no, tokens[0]));
+    }
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      config.entries_[tokens[0]].push_back(tokens[i]);
+    }
+  }
+  return config;
+}
+
+Config Config::load(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw IoError(fmt::format("cannot open config file {}", path.string()));
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse(text.str());
+}
+
+bool Config::has(std::string_view key) const {
+  return entries_.find(key) != entries_.end();
+}
+
+const std::string& Config::get(std::string_view key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.empty()) {
+    throw ConfigError(fmt::format("missing config key '{}'", key));
+  }
+  return it->second.front();
+}
+
+std::string Config::get_or(std::string_view key,
+                           std::string_view fallback) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.empty()) {
+    return std::string(fallback);
+  }
+  return it->second.front();
+}
+
+std::vector<std::string> Config::get_all(std::string_view key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return {};
+  return it->second;
+}
+
+std::int64_t Config::get_int(std::string_view key) const {
+  const std::string& value = get(key);
+  std::int64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc() || ptr != value.data() + value.size()) {
+    throw ConfigError(
+        fmt::format("config key '{}' is not an integer: '{}'", key, value));
+  }
+  return out;
+}
+
+std::int64_t Config::get_int_or(std::string_view key,
+                                std::int64_t fallback) const {
+  if (!has(key)) return fallback;
+  return get_int(key);
+}
+
+bool Config::get_bool_or(std::string_view key, bool fallback) const {
+  if (!has(key)) return fallback;
+  const std::string value = strings::to_lower(get(key));
+  if (value == "true" || value == "yes" || value == "on" || value == "1") {
+    return true;
+  }
+  if (value == "false" || value == "no" || value == "off" || value == "0") {
+    return false;
+  }
+  throw ConfigError(
+      fmt::format("config key '{}' is not a boolean: '{}'", key, value));
+}
+
+void Config::set(std::string key, std::string value) {
+  entries_[std::move(key)] = {std::move(value)};
+}
+
+}  // namespace myproxy

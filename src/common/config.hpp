@@ -1,0 +1,60 @@
+// Key/value configuration files in the style of myproxy-server.config:
+//
+//   # comment
+//   accepted_credentials  "/C=US/O=Grid/*"
+//   authorized_retrievers "/C=US/O=Grid/OU=Portals/*"
+//   max_proxy_lifetime    43200
+//
+// Values may be bare words, quoted strings, or space-separated lists; a key
+// may appear multiple times (values accumulate).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace myproxy {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse config text; throws ConfigError with a line number on bad syntax.
+  static Config parse(std::string_view text);
+
+  /// Load and parse a config file.
+  static Config load(const std::filesystem::path& path);
+
+  [[nodiscard]] bool has(std::string_view key) const;
+
+  /// First value for `key`; throws ConfigError if missing.
+  [[nodiscard]] const std::string& get(std::string_view key) const;
+
+  /// First value for `key`, or `fallback` if absent.
+  [[nodiscard]] std::string get_or(std::string_view key,
+                                   std::string_view fallback) const;
+
+  /// All values that were given for `key` (possibly across repeated lines).
+  [[nodiscard]] std::vector<std::string> get_all(std::string_view key) const;
+
+  /// Integer value; throws ConfigError if missing or non-numeric.
+  [[nodiscard]] std::int64_t get_int(std::string_view key) const;
+  [[nodiscard]] std::int64_t get_int_or(std::string_view key,
+                                        std::int64_t fallback) const;
+
+  /// Boolean value (true/false/yes/no/on/off/1/0, case-insensitive).
+  [[nodiscard]] bool get_bool_or(std::string_view key, bool fallback) const;
+
+  void set(std::string key, std::string value);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  // Preserves insertion order within a key via the vector.
+  std::map<std::string, std::vector<std::string>, std::less<>> entries_;
+};
+
+}  // namespace myproxy

@@ -1,0 +1,145 @@
+#include "common/encoding.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace myproxy::encoding {
+
+namespace {
+
+constexpr std::string_view kAlphabet =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+constexpr std::array<std::int8_t, 256> make_reverse_table() {
+  std::array<std::int8_t, 256> table{};
+  for (auto& v : table) v = -1;
+  for (std::size_t i = 0; i < kAlphabet.size(); ++i) {
+    table[static_cast<unsigned char>(kAlphabet[i])] =
+        static_cast<std::int8_t>(i);
+  }
+  return table;
+}
+
+constexpr auto kReverse = make_reverse_table();
+
+constexpr std::string_view kHexDigits = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string base64_encode(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= data.size(); i += 3) {
+    const std::uint32_t n = (static_cast<std::uint32_t>(data[i]) << 16) |
+                            (static_cast<std::uint32_t>(data[i + 1]) << 8) |
+                            data[i + 2];
+    out.push_back(kAlphabet[(n >> 18) & 0x3f]);
+    out.push_back(kAlphabet[(n >> 12) & 0x3f]);
+    out.push_back(kAlphabet[(n >> 6) & 0x3f]);
+    out.push_back(kAlphabet[n & 0x3f]);
+  }
+  const std::size_t rest = data.size() - i;
+  if (rest == 1) {
+    const std::uint32_t n = static_cast<std::uint32_t>(data[i]) << 16;
+    out.push_back(kAlphabet[(n >> 18) & 0x3f]);
+    out.push_back(kAlphabet[(n >> 12) & 0x3f]);
+    out.append("==");
+  } else if (rest == 2) {
+    const std::uint32_t n = (static_cast<std::uint32_t>(data[i]) << 16) |
+                            (static_cast<std::uint32_t>(data[i + 1]) << 8);
+    out.push_back(kAlphabet[(n >> 18) & 0x3f]);
+    out.push_back(kAlphabet[(n >> 12) & 0x3f]);
+    out.push_back(kAlphabet[(n >> 6) & 0x3f]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+std::string base64_encode(std::string_view data) {
+  return base64_encode(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+}
+
+Bytes base64_decode(std::string_view text) {
+  if (text.size() % 4 != 0) {
+    throw ParseError("base64 input length not a multiple of 4");
+  }
+  Bytes out;
+  out.reserve(text.size() / 4 * 3);
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    int vals[4];
+    int pad = 0;
+    for (int j = 0; j < 4; ++j) {
+      const char c = text[i + j];
+      if (c == '=') {
+        // Padding is only legal in the last two positions of the final group.
+        if (i + 4 != text.size() || j < 2) {
+          throw ParseError("base64 padding in illegal position");
+        }
+        vals[j] = 0;
+        ++pad;
+      } else {
+        if (pad != 0) throw ParseError("base64 data after padding");
+        const std::int8_t v = kReverse[static_cast<unsigned char>(c)];
+        if (v < 0) throw ParseError("invalid base64 character");
+        vals[j] = v;
+      }
+    }
+    const std::uint32_t n =
+        (static_cast<std::uint32_t>(vals[0]) << 18) |
+        (static_cast<std::uint32_t>(vals[1]) << 12) |
+        (static_cast<std::uint32_t>(vals[2]) << 6) |
+        static_cast<std::uint32_t>(vals[3]);
+    out.push_back(static_cast<std::uint8_t>((n >> 16) & 0xff));
+    if (pad < 2) out.push_back(static_cast<std::uint8_t>((n >> 8) & 0xff));
+    if (pad < 1) out.push_back(static_cast<std::uint8_t>(n & 0xff));
+  }
+  return out;
+}
+
+std::string base64_decode_string(std::string_view text) {
+  const Bytes raw = base64_decode(text);
+  return std::string(raw.begin(), raw.end());
+}
+
+std::string hex_encode(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (const std::uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+Bytes hex_decode(std::string_view text) {
+  if (text.size() % 2 != 0) throw ParseError("hex input has odd length");
+  Bytes out;
+  out.reserve(text.size() / 2);
+  for (std::size_t i = 0; i < text.size(); i += 2) {
+    const int hi = hex_value(text[i]);
+    const int lo = hex_value(text[i + 1]);
+    if (hi < 0 || lo < 0) throw ParseError("invalid hex character");
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+std::string to_string(std::span<const std::uint8_t> data) {
+  return std::string(reinterpret_cast<const char*>(data.data()), data.size());
+}
+
+Bytes to_bytes(std::string_view data) {
+  return Bytes(data.begin(), data.end());
+}
+
+}  // namespace myproxy::encoding

@@ -1,0 +1,32 @@
+// Base64 and hex codecs (standalone, no OpenSSL dependency) used for the
+// wire protocol's binary fields and for on-disk credential records.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace myproxy::encoding {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// RFC 4648 base64 with padding, no line breaks.
+[[nodiscard]] std::string base64_encode(std::span<const std::uint8_t> data);
+[[nodiscard]] std::string base64_encode(std::string_view data);
+
+/// Decodes RFC 4648 base64; throws ParseError on any non-alphabet byte or
+/// bad padding. Whitespace is NOT tolerated (wire fields are exact).
+[[nodiscard]] Bytes base64_decode(std::string_view text);
+[[nodiscard]] std::string base64_decode_string(std::string_view text);
+
+/// Lower-case hex.
+[[nodiscard]] std::string hex_encode(std::span<const std::uint8_t> data);
+[[nodiscard]] Bytes hex_decode(std::string_view text);
+
+/// Bytes <-> string helpers for APIs that carry opaque binary in std::string.
+[[nodiscard]] std::string to_string(std::span<const std::uint8_t> data);
+[[nodiscard]] Bytes to_bytes(std::string_view data);
+
+}  // namespace myproxy::encoding

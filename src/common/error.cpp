@@ -1,0 +1,35 @@
+#include "common/error.hpp"
+
+namespace myproxy {
+
+std::string_view to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kInternal:
+      return "internal";
+    case ErrorCode::kCrypto:
+      return "crypto";
+    case ErrorCode::kIo:
+      return "io";
+    case ErrorCode::kParse:
+      return "parse";
+    case ErrorCode::kVerification:
+      return "verification";
+    case ErrorCode::kAuthentication:
+      return "authentication";
+    case ErrorCode::kAuthorization:
+      return "authorization";
+    case ErrorCode::kPolicy:
+      return "policy";
+    case ErrorCode::kNotFound:
+      return "not-found";
+    case ErrorCode::kExpired:
+      return "expired";
+    case ErrorCode::kProtocol:
+      return "protocol";
+    case ErrorCode::kConfig:
+      return "config";
+  }
+  return "unknown";
+}
+
+}  // namespace myproxy

@@ -1,0 +1,116 @@
+// Error types shared by every MyProxy module.
+//
+// Library code throws `myproxy::Error` (or a subclass) for failures that the
+// caller is not expected to handle inline; protocol-level "expected" failures
+// (bad pass phrase, unauthorized client, ...) are carried in response
+// messages instead, so a misbehaving peer can never tear down the server.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace myproxy {
+
+/// Broad failure category, used for logging/metrics and for mapping internal
+/// failures onto protocol error responses.
+enum class ErrorCode {
+  kInternal,        ///< bug or unexpected library failure
+  kCrypto,          ///< OpenSSL primitive failure
+  kIo,              ///< file system or socket failure
+  kParse,           ///< malformed input (PEM, config, protocol text)
+  kVerification,    ///< signature / certificate-chain verification failed
+  kAuthentication,  ///< peer identity could not be established
+  kAuthorization,   ///< peer identity established but action not allowed
+  kPolicy,          ///< request violates server or credential policy
+  kNotFound,        ///< named credential / user does not exist
+  kExpired,         ///< credential lifetime exhausted
+  kProtocol,        ///< peer violated the wire protocol
+  kConfig,          ///< invalid configuration
+};
+
+/// Human-readable name of an ErrorCode (e.g. "crypto", "authorization").
+std::string_view to_string(ErrorCode code) noexcept;
+
+/// Base exception for all MyProxy failures.
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorCode code, const std::string& message)
+      : std::runtime_error(std::string(to_string(code)) + ": " + message),
+        code_(code) {}
+
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+/// OpenSSL primitive failure; `message` should already include the queued
+/// OpenSSL error strings (see crypto/openssl_util.hpp).
+class CryptoError : public Error {
+ public:
+  explicit CryptoError(const std::string& message)
+      : Error(ErrorCode::kCrypto, message) {}
+};
+
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& message)
+      : Error(ErrorCode::kIo, message) {}
+};
+
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& message)
+      : Error(ErrorCode::kParse, message) {}
+};
+
+class VerificationError : public Error {
+ public:
+  explicit VerificationError(const std::string& message)
+      : Error(ErrorCode::kVerification, message) {}
+};
+
+class AuthenticationError : public Error {
+ public:
+  explicit AuthenticationError(const std::string& message)
+      : Error(ErrorCode::kAuthentication, message) {}
+};
+
+class AuthorizationError : public Error {
+ public:
+  explicit AuthorizationError(const std::string& message)
+      : Error(ErrorCode::kAuthorization, message) {}
+};
+
+class PolicyError : public Error {
+ public:
+  explicit PolicyError(const std::string& message)
+      : Error(ErrorCode::kPolicy, message) {}
+};
+
+class NotFoundError : public Error {
+ public:
+  explicit NotFoundError(const std::string& message)
+      : Error(ErrorCode::kNotFound, message) {}
+};
+
+class ExpiredError : public Error {
+ public:
+  explicit ExpiredError(const std::string& message)
+      : Error(ErrorCode::kExpired, message) {}
+};
+
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& message)
+      : Error(ErrorCode::kProtocol, message) {}
+};
+
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& message)
+      : Error(ErrorCode::kConfig, message) {}
+};
+
+}  // namespace myproxy

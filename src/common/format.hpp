@@ -1,0 +1,91 @@
+// Minimal "{}"-placeholder formatter. GCC 12 (this toolchain) lacks
+// <format>, so the library uses myproxy::fmt::format for its message
+// building. Supports only positional "{}" placeholders and "{{" / "}}"
+// escapes — enough for log and error text, checked at runtime.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace myproxy::fmt {
+
+namespace detail {
+
+template <typename T>
+void append_value(std::string& out, const T& value) {
+  if constexpr (std::is_same_v<T, std::string> ||
+                std::is_same_v<T, std::string_view> ||
+                std::is_convertible_v<T, std::string_view>) {
+    out += std::string_view(value);
+  } else if constexpr (std::is_same_v<T, bool>) {
+    out += value ? "true" : "false";
+  } else {
+    std::ostringstream os;
+    os << value;
+    out += os.str();
+  }
+}
+
+// Appends `text` up to (and consuming) the next "{}" placeholder; returns the
+// remaining tail, or npos-marked empty when no placeholder remains.
+inline bool consume_to_placeholder(std::string& out, std::string_view& text) {
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c == '{') {
+      if (i + 1 < text.size() && text[i + 1] == '{') {
+        out += '{';
+        i += 2;
+        continue;
+      }
+      if (i + 1 < text.size() && text[i + 1] == '}') {
+        text.remove_prefix(i + 2);
+        return true;
+      }
+      // Lone '{' — emit literally (we do not support format specs).
+      out += c;
+      ++i;
+      continue;
+    }
+    if (c == '}' && i + 1 < text.size() && text[i + 1] == '}') {
+      out += '}';
+      i += 2;
+      continue;
+    }
+    out += c;
+    ++i;
+  }
+  text = {};
+  return false;
+}
+
+inline void format_rest(std::string& out, std::string_view text) {
+  std::string_view tail = text;
+  // Extra placeholders with no argument render literally as "{}".
+  while (consume_to_placeholder(out, tail)) out += "{}";
+}
+
+template <typename T, typename... Rest>
+void format_rest(std::string& out, std::string_view text, const T& value,
+                 const Rest&... rest) {
+  std::string_view tail = text;
+  if (consume_to_placeholder(out, tail)) {
+    append_value(out, value);
+    format_rest(out, tail, rest...);
+  }
+  // Surplus arguments with no placeholder are silently dropped.
+}
+
+}  // namespace detail
+
+template <typename... Args>
+[[nodiscard]] std::string format(std::string_view text, const Args&... args) {
+  std::string out;
+  out.reserve(text.size() + sizeof...(args) * 8);
+  detail::format_rest(out, text, args...);
+  return out;
+}
+
+}  // namespace myproxy::fmt

@@ -1,0 +1,10 @@
+#include "common/secure_buffer.hpp"
+
+namespace myproxy {
+
+void secure_wipe(void* data, std::size_t size) noexcept {
+  auto* p = static_cast<volatile std::uint8_t*>(data);
+  for (std::size_t i = 0; i < size; ++i) p[i] = 0;
+}
+
+}  // namespace myproxy

@@ -1,0 +1,92 @@
+// SecureBuffer: byte storage for secrets (private keys, pass phrases) that
+// is wiped on destruction so key material does not linger on freed heap
+// pages (paper §2.1: "an entity must have sole possession of its private
+// key to maintain the integrity of the system").
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace myproxy {
+
+/// Volatile-qualified wipe that the optimizer may not elide.
+void secure_wipe(void* data, std::size_t size) noexcept;
+
+class SecureBuffer {
+ public:
+  SecureBuffer() = default;
+  explicit SecureBuffer(std::size_t size) : data_(size, 0) {}
+  explicit SecureBuffer(std::span<const std::uint8_t> bytes)
+      : data_(bytes.begin(), bytes.end()) {}
+  explicit SecureBuffer(std::string_view text)
+      : data_(text.begin(), text.end()) {}
+
+  SecureBuffer(const SecureBuffer&) = default;
+  SecureBuffer& operator=(const SecureBuffer&) = default;
+
+  SecureBuffer(SecureBuffer&& other) noexcept : data_(std::move(other.data_)) {
+    other.wipe();
+  }
+
+  SecureBuffer& operator=(SecureBuffer&& other) noexcept {
+    if (this != &other) {
+      wipe();
+      data_ = std::move(other.data_);
+      other.wipe();
+    }
+    return *this;
+  }
+
+  ~SecureBuffer() { wipe(); }
+
+  [[nodiscard]] std::uint8_t* data() noexcept { return data_.data(); }
+  [[nodiscard]] const std::uint8_t* data() const noexcept {
+    return data_.data();
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const noexcept {
+    return {data_.data(), data_.size()};
+  }
+  [[nodiscard]] std::span<std::uint8_t> mutable_bytes() noexcept {
+    return {data_.data(), data_.size()};
+  }
+
+  /// View of the contents as text (e.g. a PEM blob or pass phrase).
+  [[nodiscard]] std::string_view view() const noexcept {
+    return {reinterpret_cast<const char*>(data_.data()), data_.size()};
+  }
+
+  /// Copy out as std::string; caller owns the (non-wiping) copy.
+  [[nodiscard]] std::string str() const {
+    return std::string(view());
+  }
+
+  void resize(std::size_t size) { data_.resize(size, 0); }
+
+  void assign(std::span<const std::uint8_t> bytes) {
+    wipe();
+    data_.assign(bytes.begin(), bytes.end());
+  }
+
+  /// Zero the contents and release the storage.
+  void wipe() noexcept {
+    if (!data_.empty()) secure_wipe(data_.data(), data_.size());
+    data_.clear();
+    data_.shrink_to_fit();
+  }
+
+  friend bool operator==(const SecureBuffer& a, const SecureBuffer& b) {
+    return a.data_ == b.data_;
+  }
+
+ private:
+  std::vector<std::uint8_t> data_;
+};
+
+}  // namespace myproxy

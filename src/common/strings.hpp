@@ -1,0 +1,42 @@
+// Small string helpers used throughout the code base.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace myproxy::strings {
+
+/// Remove leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept;
+
+/// Split `s` on `sep`. Empty fields are preserved ("a,,b" -> {"a","","b"}).
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// Split `s` on `sep`, trimming each field and dropping empties.
+[[nodiscard]] std::vector<std::string> split_trimmed(std::string_view s,
+                                                     char sep);
+
+/// Join `parts` with `sep` between consecutive elements.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b) noexcept;
+
+/// True if `s` consists only of decimal digits (and is non-empty).
+[[nodiscard]] bool is_all_digits(std::string_view s) noexcept;
+
+/// Constant-time equality for secrets (pass phrases, MACs). Always touches
+/// every byte of both inputs regardless of where they first differ.
+[[nodiscard]] bool constant_time_equals(std::string_view a,
+                                        std::string_view b) noexcept;
+
+/// Shell-style glob match supporting '*' and '?'. Used by the repository
+/// access-control lists, which in the original MyProxy accept DN patterns
+/// such as "/C=US/O=NCSA/*".
+[[nodiscard]] bool glob_match(std::string_view pattern,
+                              std::string_view text) noexcept;
+
+}  // namespace myproxy::strings

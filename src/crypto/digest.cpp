@@ -1,0 +1,117 @@
+#include "crypto/digest.hpp"
+
+#include <openssl/evp.h>
+#include <openssl/hmac.h>
+
+#include "common/encoding.hpp"
+#include "crypto/openssl_util.hpp"
+
+namespace myproxy::crypto {
+
+namespace {
+
+const EVP_MD* evp_md(HashAlgorithm alg) {
+  switch (alg) {
+    case HashAlgorithm::kSha1:
+      return EVP_sha1();
+    case HashAlgorithm::kSha256:
+      return EVP_sha256();
+    case HashAlgorithm::kSha512:
+      return EVP_sha512();
+  }
+  throw CryptoError("unknown hash algorithm");
+}
+
+}  // namespace
+
+std::string_view to_string(HashAlgorithm alg) noexcept {
+  switch (alg) {
+    case HashAlgorithm::kSha1:
+      return "sha1";
+    case HashAlgorithm::kSha256:
+      return "sha256";
+    case HashAlgorithm::kSha512:
+      return "sha512";
+  }
+  return "?";
+}
+
+std::size_t digest_size(HashAlgorithm alg) noexcept {
+  switch (alg) {
+    case HashAlgorithm::kSha1:
+      return 20;
+    case HashAlgorithm::kSha256:
+      return 32;
+    case HashAlgorithm::kSha512:
+      return 64;
+  }
+  return 0;
+}
+
+std::vector<std::uint8_t> digest(HashAlgorithm alg,
+                                 std::span<const std::uint8_t> data) {
+  std::vector<std::uint8_t> out(EVP_MAX_MD_SIZE);
+  unsigned int out_len = 0;
+  check(EVP_Digest(data.data(), data.size(), out.data(), &out_len,
+                   evp_md(alg), nullptr),
+        "EVP_Digest");
+  out.resize(out_len);
+  return out;
+}
+
+std::vector<std::uint8_t> digest(HashAlgorithm alg, std::string_view data) {
+  return digest(alg, std::span<const std::uint8_t>(
+                         reinterpret_cast<const std::uint8_t*>(data.data()),
+                         data.size()));
+}
+
+std::string digest_hex(HashAlgorithm alg, std::string_view data) {
+  return encoding::hex_encode(digest(alg, data));
+}
+
+struct Digest::Impl {
+  EvpMdCtxPtr ctx;
+};
+
+Digest::Digest(HashAlgorithm alg) : impl_(new Impl) {
+  impl_->ctx.reset(check_ptr(EVP_MD_CTX_new(), "EVP_MD_CTX_new"));
+  check(EVP_DigestInit_ex(impl_->ctx.get(), evp_md(alg), nullptr),
+        "EVP_DigestInit_ex");
+}
+
+Digest::~Digest() { delete impl_; }
+
+void Digest::update(std::string_view data) {
+  check(EVP_DigestUpdate(impl_->ctx.get(), data.data(), data.size()),
+        "EVP_DigestUpdate");
+}
+
+void Digest::update(std::span<const std::uint8_t> data) {
+  check(EVP_DigestUpdate(impl_->ctx.get(), data.data(), data.size()),
+        "EVP_DigestUpdate");
+}
+
+std::vector<std::uint8_t> Digest::finish() {
+  std::vector<std::uint8_t> out(EVP_MAX_MD_SIZE);
+  unsigned int out_len = 0;
+  check(EVP_DigestFinal_ex(impl_->ctx.get(), out.data(), &out_len),
+        "EVP_DigestFinal_ex");
+  out.resize(out_len);
+  return out;
+}
+
+std::vector<std::uint8_t> hmac(HashAlgorithm alg,
+                               std::span<const std::uint8_t> key,
+                               std::string_view data) {
+  std::vector<std::uint8_t> out(EVP_MAX_MD_SIZE);
+  unsigned int out_len = 0;
+  const unsigned char* result =
+      HMAC(evp_md(alg), key.data(), static_cast<int>(key.size()),
+           reinterpret_cast<const unsigned char*>(data.data()), data.size(),
+           out.data(), &out_len);
+  if (result == nullptr) throw_openssl("HMAC");
+  out.resize(out_len);
+  return out;
+}
+
+}  // namespace myproxy::crypto

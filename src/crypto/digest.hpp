@@ -1,0 +1,50 @@
+// Message digests and HMAC over OpenSSL EVP.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace myproxy::crypto {
+
+enum class HashAlgorithm { kSha1, kSha256, kSha512 };
+
+[[nodiscard]] std::string_view to_string(HashAlgorithm alg) noexcept;
+[[nodiscard]] std::size_t digest_size(HashAlgorithm alg) noexcept;
+
+/// One-shot digest.
+[[nodiscard]] std::vector<std::uint8_t> digest(HashAlgorithm alg,
+                                               std::string_view data);
+[[nodiscard]] std::vector<std::uint8_t> digest(
+    HashAlgorithm alg, std::span<const std::uint8_t> data);
+
+/// One-shot digest, hex-encoded (fingerprints, audit log lines).
+[[nodiscard]] std::string digest_hex(HashAlgorithm alg, std::string_view data);
+
+/// Incremental digest for streaming inputs.
+class Digest {
+ public:
+  explicit Digest(HashAlgorithm alg);
+  ~Digest();
+  Digest(const Digest&) = delete;
+  Digest& operator=(const Digest&) = delete;
+
+  void update(std::string_view data);
+  void update(std::span<const std::uint8_t> data);
+
+  /// Finalizes; the object must not be updated afterwards.
+  [[nodiscard]] std::vector<std::uint8_t> finish();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// HMAC(key, data).
+[[nodiscard]] std::vector<std::uint8_t> hmac(HashAlgorithm alg,
+                                             std::span<const std::uint8_t> key,
+                                             std::string_view data);
+
+}  // namespace myproxy::crypto

@@ -1,0 +1,40 @@
+#include "crypto/kdf.hpp"
+
+#include <openssl/evp.h>
+
+#include "crypto/openssl_util.hpp"
+
+namespace myproxy::crypto {
+
+namespace {
+
+const EVP_MD* evp_md_for(HashAlgorithm alg) {
+  switch (alg) {
+    case HashAlgorithm::kSha1:
+      return EVP_sha1();
+    case HashAlgorithm::kSha256:
+      return EVP_sha256();
+    case HashAlgorithm::kSha512:
+      return EVP_sha512();
+  }
+  throw CryptoError("unknown hash algorithm");
+}
+
+}  // namespace
+
+SecureBuffer pbkdf2(std::string_view pass_phrase,
+                    std::span<const std::uint8_t> salt, unsigned iterations,
+                    std::size_t key_len, HashAlgorithm alg) {
+  if (iterations == 0) throw CryptoError("pbkdf2: zero iterations");
+  if (key_len == 0) throw CryptoError("pbkdf2: zero key length");
+  SecureBuffer key(key_len);
+  check(PKCS5_PBKDF2_HMAC(pass_phrase.data(),
+                          static_cast<int>(pass_phrase.size()), salt.data(),
+                          static_cast<int>(salt.size()),
+                          static_cast<int>(iterations), evp_md_for(alg),
+                          static_cast<int>(key_len), key.data()),
+        "PKCS5_PBKDF2_HMAC");
+  return key;
+}
+
+}  // namespace myproxy::crypto

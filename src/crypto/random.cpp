@@ -1,0 +1,36 @@
+#include "crypto/random.hpp"
+
+#include <openssl/rand.h>
+
+#include <cstring>
+
+#include "common/encoding.hpp"
+#include "crypto/openssl_util.hpp"
+
+namespace myproxy::crypto {
+
+std::vector<std::uint8_t> random_bytes(std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  if (n != 0) {
+    check(RAND_bytes(out.data(), static_cast<int>(n)), "RAND_bytes");
+  }
+  return out;
+}
+
+std::string random_hex(std::size_t n_bytes) {
+  return encoding::hex_encode(random_bytes(n_bytes));
+}
+
+std::uint64_t random_uniform(std::uint64_t bound) {
+  if (bound == 0) throw CryptoError("random_uniform: bound must be positive");
+  // Rejection sampling over the largest multiple of `bound` below 2^64.
+  const std::uint64_t limit = UINT64_MAX - (UINT64_MAX % bound);
+  while (true) {
+    std::uint64_t value = 0;
+    const auto bytes = random_bytes(sizeof(value));
+    std::memcpy(&value, bytes.data(), sizeof(value));
+    if (value < limit) return value % bound;
+  }
+}
+
+}  // namespace myproxy::crypto

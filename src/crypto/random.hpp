@@ -1,0 +1,19 @@
+// Cryptographically secure randomness (OpenSSL RAND_bytes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace myproxy::crypto {
+
+/// `n` cryptographically secure random bytes.
+[[nodiscard]] std::vector<std::uint8_t> random_bytes(std::size_t n);
+
+/// 2*n lower-case hex characters of secure randomness (session ids, serials).
+[[nodiscard]] std::string random_hex(std::size_t n_bytes);
+
+/// Uniform integer in [0, bound) using rejection sampling; bound must be > 0.
+[[nodiscard]] std::uint64_t random_uniform(std::uint64_t bound);
+
+}  // namespace myproxy::crypto

@@ -1,0 +1,104 @@
+#include "grid/renewal_service.hpp"
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace myproxy::grid {
+
+namespace {
+constexpr std::string_view kLogComponent = "grid.renewal";
+}  // namespace
+
+RenewalService::RenewalService(
+    ResourceService& resource, std::uint16_t myproxy_port,
+    pki::TrustStore trust_store,
+    std::function<std::optional<std::string>(std::string_view)> username_for,
+    Seconds renew_threshold)
+    : resource_(resource),
+      myproxy_port_(myproxy_port),
+      trust_store_(std::move(trust_store)),
+      username_for_(std::move(username_for)),
+      renew_threshold_(renew_threshold) {}
+
+RenewalService::~RenewalService() { stop(); }
+
+void RenewalService::start(Seconds period) {
+  const std::scoped_lock lock(mutex_);
+  if (sweeper_.joinable()) return;  // already running
+  stopping_ = false;
+  sweeper_ = std::thread([this, period] {
+    std::unique_lock lock(mutex_);
+    while (!stop_cv_.wait_for(lock, period, [this] { return stopping_; })) {
+      lock.unlock();
+      const PassResult pass = run_once();
+      lock.lock();
+      totals_.jobs_checked += pass.jobs_checked;
+      totals_.renewed += pass.renewed;
+      totals_.failed += pass.failed;
+    }
+  });
+  log::info(kLogComponent, "renewal daemon started (period {})",
+            format_duration(period));
+}
+
+void RenewalService::stop() {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (!sweeper_.joinable()) return;
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  sweeper_.join();
+  const std::scoped_lock lock(mutex_);
+  sweeper_ = std::thread();
+}
+
+RenewalService::PassResult RenewalService::totals() const {
+  const std::scoped_lock lock(mutex_);
+  return totals_;
+}
+
+RenewalService::PassResult RenewalService::run_once(
+    std::string_view owner_dn) {
+  PassResult result;
+  resource_.expire_stale_jobs();
+  for (const auto& job : resource_.jobs_for(owner_dn)) {
+    if (job.state == JobState::kCompleted) continue;
+    ++result.jobs_checked;
+    const Seconds remaining = std::chrono::duration_cast<Seconds>(
+        job.credential_expires - now());
+    if (remaining > renew_threshold_) continue;
+
+    const auto username = username_for_(job.owner_dn);
+    if (!username.has_value()) {
+      log::warn(kLogComponent, "no MyProxy account known for '{}'",
+                job.owner_dn);
+      ++result.failed;
+      continue;
+    }
+    const auto credential = resource_.job_credential(job.id);
+    if (!credential.has_value()) {
+      ++result.failed;
+      continue;
+    }
+    try {
+      // Authenticate with the job's (possibly expiring, not yet expired)
+      // credential: ownership of the stored identity is the authorization.
+      client::MyProxyClient myproxy(*credential, trust_store_,
+                                    myproxy_port_);
+      const gsi::Credential fresh = myproxy.renew(*username);
+      if (!resource_.refresh_job_credential(job.id, fresh)) {
+        ++result.failed;
+        continue;
+      }
+      ++result.renewed;
+    } catch (const std::exception& e) {
+      log::warn(kLogComponent, "renewal of job {} failed: {}", job.id,
+                e.what());
+      ++result.failed;
+    }
+  }
+  return result;
+}
+
+}  // namespace myproxy::grid

@@ -1,0 +1,71 @@
+// Credential renewal for long-running jobs (paper §6.6).
+//
+// "It is not uncommon for computational jobs to run for a period of time
+// that exceed the lifetime of the proxy credential they receive on
+// startup." Condor-G solved this by e-mailing the user; the paper proposes
+// letting MyProxy "supply them with fresh credentials when needed". This
+// service implements that: it watches the resource's jobs and, when a job's
+// delegated credential nears expiry, uses that *same* credential to
+// authenticate a RENEW against the repository (ownership proves the
+// renewal is legitimate; the renewer ACL gates which services may do this
+// at all), then installs the fresh proxy into the job.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "client/myproxy_client.hpp"
+#include "grid/resource_service.hpp"
+
+namespace myproxy::grid {
+
+class RenewalService {
+ public:
+  /// `username_for` maps a Grid DN to the MyProxy account that stored the
+  /// renewable credential (the portal records this association at login).
+  RenewalService(ResourceService& resource, std::uint16_t myproxy_port,
+                 pki::TrustStore trust_store,
+                 std::function<std::optional<std::string>(std::string_view)>
+                     username_for,
+                 Seconds renew_threshold = Seconds(300));
+
+  struct PassResult {
+    std::size_t jobs_checked = 0;
+    std::size_t renewed = 0;
+    std::size_t failed = 0;
+  };
+
+  /// One sweep over `owner_dn`'s jobs (or all jobs when empty): renew every
+  /// running or credential-expired job whose credential expires within the
+  /// threshold.
+  PassResult run_once(std::string_view owner_dn = {});
+
+  /// Run sweeps on a background thread every `period` until stop().
+  /// (The Condor-G daemon mode: jobs stay alive with nobody watching.)
+  void start(Seconds period);
+  void stop();
+
+  ~RenewalService();
+
+  /// Cumulative counters across background sweeps.
+  [[nodiscard]] PassResult totals() const;
+
+ private:
+  ResourceService& resource_;
+  std::uint16_t myproxy_port_;
+  pki::TrustStore trust_store_;
+  std::function<std::optional<std::string>(std::string_view)> username_for_;
+  Seconds renew_threshold_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable stop_cv_;
+  std::thread sweeper_;
+  bool stopping_ = false;
+  PassResult totals_{};
+};
+
+}  // namespace myproxy::grid

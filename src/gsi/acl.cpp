@@ -1,0 +1,18 @@
+#include "gsi/acl.hpp"
+
+#include "common/strings.hpp"
+
+namespace myproxy::gsi {
+
+bool AccessControlList::allows(const pki::DistinguishedName& dn) const {
+  return allows(dn.str());
+}
+
+bool AccessControlList::allows(std::string_view dn) const {
+  for (const auto& pattern : patterns_) {
+    if (strings::glob_match(pattern, dn)) return true;
+  }
+  return false;
+}
+
+}  // namespace myproxy::gsi

@@ -1,0 +1,42 @@
+// DN-pattern access control lists. The MyProxy repository keeps two of
+// these (paper §5.1): `accepted_credentials` — who may *store* credentials —
+// and `authorized_retrievers` — who may *retrieve* delegations. The second
+// list is what stops a stolen pass phrase alone from being sufficient to
+// extract a user's proxy.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pki/distinguished_name.hpp"
+
+namespace myproxy::gsi {
+
+class AccessControlList {
+ public:
+  AccessControlList() = default;
+
+  /// `patterns` use shell globs over the one-line DN form,
+  /// e.g. "/C=US/O=Grid/OU=Portals/*".
+  explicit AccessControlList(std::vector<std::string> patterns)
+      : patterns_(std::move(patterns)) {}
+
+  void add(std::string pattern) { patterns_.push_back(std::move(pattern)); }
+
+  /// True if any pattern matches. An empty ACL denies everyone —
+  /// "restricting service to authorized clients" is the default posture.
+  [[nodiscard]] bool allows(const pki::DistinguishedName& dn) const;
+  [[nodiscard]] bool allows(std::string_view dn) const;
+
+  [[nodiscard]] bool empty() const noexcept { return patterns_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return patterns_.size(); }
+  [[nodiscard]] const std::vector<std::string>& patterns() const noexcept {
+    return patterns_;
+  }
+
+ private:
+  std::vector<std::string> patterns_;
+};
+
+}  // namespace myproxy::gsi

@@ -1,0 +1,78 @@
+#include "gsi/gridmap.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+#include "common/strings.hpp"
+
+namespace myproxy::gsi {
+
+Gridmap Gridmap::parse(std::string_view text) {
+  Gridmap map;
+  int line_no = 0;
+  for (const auto& raw_line : strings::split(text, '\n')) {
+    ++line_no;
+    std::string_view line = strings::trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    if (line.front() != '"') {
+      throw ParseError(
+          fmt::format("gridmap line {}: DN must be double-quoted", line_no));
+    }
+    const std::size_t close = line.find('"', 1);
+    if (close == std::string_view::npos) {
+      throw ParseError(
+          fmt::format("gridmap line {}: unterminated DN quote", line_no));
+    }
+    const std::string_view dn = line.substr(1, close - 1);
+    std::string_view user = strings::trim(line.substr(close + 1));
+    const std::size_t hash = user.find('#');
+    if (hash != std::string_view::npos) {
+      user = strings::trim(user.substr(0, hash));
+    }
+    if (dn.empty() || user.empty()) {
+      throw ParseError(
+          fmt::format("gridmap line {}: missing DN or username", line_no));
+    }
+    if (user.find(' ') != std::string_view::npos) {
+      throw ParseError(fmt::format(
+          "gridmap line {}: username '{}' contains whitespace", line_no,
+          user));
+    }
+    map.add(std::string(dn), std::string(user));
+  }
+  return map;
+}
+
+Gridmap Gridmap::load(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw IoError(fmt::format("cannot open gridmap file {}", path.string()));
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse(text.str());
+}
+
+void Gridmap::add(std::string dn_pattern, std::string username) {
+  entries_.emplace_back(std::move(dn_pattern), std::move(username));
+}
+
+std::optional<std::string> Gridmap::lookup(
+    const pki::DistinguishedName& dn) const {
+  return lookup(dn.str());
+}
+
+std::optional<std::string> Gridmap::lookup(std::string_view dn) const {
+  // Exact matches take precedence over patterns, regardless of file order.
+  for (const auto& [pattern, user] : entries_) {
+    if (pattern == dn) return user;
+  }
+  for (const auto& [pattern, user] : entries_) {
+    if (strings::glob_match(pattern, dn)) return user;
+  }
+  return std::nullopt;
+}
+
+}  // namespace myproxy::gsi

@@ -1,0 +1,43 @@
+// Gridmap: DN -> local account mapping (paper §2.1: "Unix hosts have a file
+// containing DN and username pairs"). Grid resources use it to translate an
+// authenticated Grid identity into a local identity.
+//
+// File format (one mapping per line, DN quoted as in Globus):
+//   "/C=US/O=Grid/CN=Alice" alice
+//   "/C=US/O=Grid/OU=Robots/*" robot      # glob patterns allowed
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "pki/distinguished_name.hpp"
+
+namespace myproxy::gsi {
+
+class Gridmap {
+ public:
+  Gridmap() = default;
+
+  static Gridmap parse(std::string_view text);
+  static Gridmap load(const std::filesystem::path& path);
+
+  /// Add a mapping programmatically. `dn_pattern` may contain globs.
+  void add(std::string dn_pattern, std::string username);
+
+  /// Local account for `dn`: exact matches win over glob matches; among
+  /// globs the first added wins. nullopt if unmapped.
+  [[nodiscard]] std::optional<std::string> lookup(
+      const pki::DistinguishedName& dn) const;
+  [[nodiscard]] std::optional<std::string> lookup(std::string_view dn) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+}  // namespace myproxy::gsi

@@ -1,0 +1,49 @@
+#include "net/channel.hpp"
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+
+namespace myproxy::net {
+
+std::string encode_frame_header(std::size_t size) {
+  if (size > kMaxMessageSize) {
+    throw ProtocolError(
+        fmt::format("outgoing message of {} bytes exceeds frame limit", size));
+  }
+  std::string header(4, '\0');
+  header[0] = static_cast<char>((size >> 24) & 0xff);
+  header[1] = static_cast<char>((size >> 16) & 0xff);
+  header[2] = static_cast<char>((size >> 8) & 0xff);
+  header[3] = static_cast<char>(size & 0xff);
+  return header;
+}
+
+std::size_t decode_frame_header(std::string_view header) {
+  if (header.size() != 4) {
+    throw ProtocolError("frame header must be 4 bytes");
+  }
+  const std::size_t size =
+      (static_cast<std::size_t>(static_cast<unsigned char>(header[0])) << 24) |
+      (static_cast<std::size_t>(static_cast<unsigned char>(header[1])) << 16) |
+      (static_cast<std::size_t>(static_cast<unsigned char>(header[2])) << 8) |
+      static_cast<std::size_t>(static_cast<unsigned char>(header[3]));
+  if (size > kMaxMessageSize) {
+    throw ProtocolError(
+        fmt::format("incoming frame of {} bytes exceeds frame limit", size));
+  }
+  return size;
+}
+
+void PlainChannel::send(std::string_view message) {
+  socket_.write_all(encode_frame_header(message.size()));
+  socket_.write_all(message);
+}
+
+std::string PlainChannel::receive() {
+  const std::string header = socket_.read_exact(4);
+  const std::size_t size = decode_frame_header(header);
+  if (size == 0) return {};
+  return socket_.read_exact(size);
+}
+
+}  // namespace myproxy::net

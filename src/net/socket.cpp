@@ -1,0 +1,148 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+
+namespace myproxy::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(std::string_view what) {
+  throw IoError(fmt::format("{}: {}", what, std::strerror(errno)));
+}
+
+}  // namespace
+
+void Socket::write_all(std::string_view data) {
+  if (!valid()) throw IoError("write on closed socket");
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string Socket::read_exact(std::size_t n) {
+  std::string out;
+  out.resize(n);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd_, out.data() + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    if (r == 0) {
+      throw IoError(fmt::format(
+          "connection closed mid-message ({} of {} bytes)", got, n));
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return out;
+}
+
+std::string Socket::read_some(std::size_t n) {
+  std::string out;
+  out.resize(n);
+  while (true) {
+    const ssize_t r = ::recv(fd_, out.data(), n, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    out.resize(static_cast<std::size_t>(r));
+    return out;
+  }
+}
+
+void Socket::shutdown_send() noexcept {
+  if (valid()) ::shutdown(fd_, SHUT_WR);
+}
+
+void Socket::close() noexcept {
+  if (valid()) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::pair<Socket, Socket> socket_pair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    throw_errno("socketpair");
+  }
+  return {Socket(fds[0]), Socket(fds[1])};
+}
+
+TcpListener TcpListener::bind(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  Socket socket(fd);
+
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw_errno("bind");
+  }
+  if (::listen(fd, 64) != 0) throw_errno("listen");
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    throw_errno("getsockname");
+  }
+  return TcpListener(std::move(socket), ntohs(addr.sin_port));
+}
+
+void TcpListener::close() noexcept {
+  if (socket_.valid()) {
+    ::shutdown(socket_.fd(), SHUT_RDWR);
+    socket_.close();
+  }
+}
+
+Socket TcpListener::accept() {
+  if (!socket_.valid()) throw IoError("accept on closed listener");
+  const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+  if (fd < 0) throw_errno("accept");
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Socket(fd);
+}
+
+Socket tcp_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  Socket socket(fd);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw_errno("connect");
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return socket;
+}
+
+}  // namespace myproxy::net

@@ -1,0 +1,89 @@
+// RAII POSIX sockets: stream sockets, listeners, and socket pairs. This is
+// the transport under the TLS layer; nothing here knows about GSI.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace myproxy::net {
+
+/// Owning wrapper for a connected stream-socket file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Write all of `data`; throws IoError on failure or peer close.
+  void write_all(std::string_view data);
+
+  /// Read exactly `n` bytes; throws IoError on failure or early EOF.
+  [[nodiscard]] std::string read_exact(std::size_t n);
+
+  /// Read up to `n` bytes; returns empty string on orderly EOF.
+  [[nodiscard]] std::string read_some(std::size_t n);
+
+  /// Shut down writing (sends FIN) without closing the descriptor.
+  void shutdown_send() noexcept;
+
+  void close() noexcept;
+
+  /// Release ownership of the descriptor.
+  [[nodiscard]] int release() noexcept { return std::exchange(fd_, -1); }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connected AF_UNIX pair — in-process transport for tests and benchmarks.
+[[nodiscard]] std::pair<Socket, Socket> socket_pair();
+
+/// Listening TCP socket on 127.0.0.1.
+class TcpListener {
+ public:
+  /// Bind to `port` (0 = ephemeral) and listen.
+  static TcpListener bind(std::uint16_t port);
+
+  TcpListener(TcpListener&&) = default;
+  TcpListener& operator=(TcpListener&&) = default;
+
+  /// Port actually bound (resolves ephemeral ports).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Block until a client connects. Throws IoError if the listener was
+  /// closed from another thread (the server-shutdown path).
+  [[nodiscard]] Socket accept();
+
+  /// Unblock any accept() blocked in another thread and invalidate the
+  /// listener. (shutdown() is what actually interrupts accept() on Linux;
+  /// close() alone leaves the accepting thread blocked.)
+  void close() noexcept;
+
+ private:
+  TcpListener(Socket socket, std::uint16_t port)
+      : socket_(std::move(socket)), port_(port) {}
+  Socket socket_;
+  std::uint16_t port_ = 0;
+};
+
+/// Connect to 127.0.0.1:`port` (the reproduction runs single-host; see
+/// DESIGN.md substitutions).
+[[nodiscard]] Socket tcp_connect(std::uint16_t port);
+
+}  // namespace myproxy::net

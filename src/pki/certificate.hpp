@@ -1,0 +1,97 @@
+// X.509 certificates. Value-semantic wrapper over OpenSSL X509 with the
+// GSI-specific views MyProxy needs: proxy classification by subject CN
+// (legacy GSI proxies, paper §2.3) and the restricted-proxy policy extension
+// (paper §6.5, draft-ietf-pkix-impersonation).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "crypto/key_pair.hpp"
+#include "pki/distinguished_name.hpp"
+
+using X509 = struct x509_st;
+
+namespace myproxy::pki {
+
+/// How a certificate participates in a GSI identity chain.
+enum class ProxyType {
+  kEndEntity,  ///< long-term credential (or CA) — not a proxy
+  kFull,       ///< "CN=proxy": full impersonation rights
+  kLimited,    ///< "CN=limited proxy": job submission must be refused
+};
+
+[[nodiscard]] std::string_view to_string(ProxyType type) noexcept;
+
+class Certificate {
+ public:
+  Certificate() = default;
+
+  /// First certificate in a PEM blob. Throws ParseError/CryptoError.
+  static Certificate from_pem(std::string_view pem);
+
+  /// Every certificate in a PEM blob, in order of appearance.
+  static std::vector<Certificate> chain_from_pem(std::string_view pem);
+
+  /// Concatenate `certs` into one PEM blob.
+  static std::string chain_to_pem(const std::vector<Certificate>& certs);
+
+  [[nodiscard]] bool valid() const noexcept { return x509_ != nullptr; }
+
+  [[nodiscard]] std::string to_pem() const;
+
+  [[nodiscard]] DistinguishedName subject() const;
+  [[nodiscard]] DistinguishedName issuer() const;
+
+  [[nodiscard]] TimePoint not_before() const;
+  [[nodiscard]] TimePoint not_after() const;
+
+  /// Remaining lifetime relative to the library clock; <= 0 when expired.
+  [[nodiscard]] Seconds remaining_lifetime() const;
+  [[nodiscard]] bool expired() const { return remaining_lifetime() <= Seconds(0); }
+
+  /// Serial number as lower-case hex.
+  [[nodiscard]] std::string serial_hex() const;
+
+  /// Public half of the subject key (never contains a private key).
+  [[nodiscard]] crypto::KeyPair public_key() const;
+
+  /// True if this certificate's signature verifies under `issuer`'s key.
+  /// Checks only the signature — not validity windows or DN chaining.
+  [[nodiscard]] bool signed_by(const Certificate& issuer) const;
+
+  /// SHA-256 over the DER encoding, hex. Stable identity for audit logs.
+  [[nodiscard]] std::string fingerprint() const;
+
+  /// Proxy classification from the subject's final CN component relative to
+  /// the issuer DN (legacy GSI rule). kEndEntity when the subject does not
+  /// extend the issuer by CN=proxy / CN=limited proxy.
+  [[nodiscard]] ProxyType proxy_type() const;
+  [[nodiscard]] bool is_proxy() const {
+    return proxy_type() != ProxyType::kEndEntity;
+  }
+
+  /// Restriction policy text carried in the proxy-policy extension (§6.5),
+  /// if present.
+  [[nodiscard]] std::optional<std::string> restriction_policy() const;
+
+  /// True if basicConstraints marks this certificate as a CA.
+  [[nodiscard]] bool is_ca() const;
+
+  [[nodiscard]] X509* native() const noexcept { return x509_.get(); }
+
+  /// Adopt an X509 (takes one reference).
+  static Certificate adopt(X509* x509);
+
+  /// Same DER bytes?
+  friend bool operator==(const Certificate& a, const Certificate& b);
+
+ private:
+  std::shared_ptr<X509> x509_;
+};
+
+}  // namespace myproxy::pki

@@ -1,0 +1,196 @@
+#include "pki/certificate_authority.hpp"
+
+#include <algorithm>
+
+#include "common/encoding.hpp"
+#include "common/error.hpp"
+#include "common/format.hpp"
+#include "common/strings.hpp"
+#include "pki/certificate_builder.hpp"
+
+namespace myproxy::pki {
+
+std::string RevocationList::to_text() const {
+  std::string out = "myproxy-crl-v1\n";
+  out += fmt::format("issuer {}\n", issuer.str());
+  out += fmt::format("issued_at {}\n", to_unix(issued_at));
+  for (const auto& serial : serials) {
+    out += fmt::format("revoked {}\n", serial);
+  }
+  return out;
+}
+
+RevocationList RevocationList::parse(std::string_view text) {
+  const auto lines = strings::split(text, '\n');
+  if (lines.empty() || strings::trim(lines[0]) != "myproxy-crl-v1") {
+    throw ParseError("revocation list missing version header");
+  }
+  RevocationList out;
+  bool have_issuer = false;
+  bool have_time = false;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string_view line = strings::trim(lines[i]);
+    if (line.empty()) continue;
+    const std::size_t space = line.find(' ');
+    if (space == std::string_view::npos) {
+      throw ParseError(fmt::format("malformed CRL line: '{}'", line));
+    }
+    const std::string_view key = line.substr(0, space);
+    const std::string_view value = strings::trim(line.substr(space + 1));
+    if (key == "issuer") {
+      out.issuer = DistinguishedName::parse(value);
+      have_issuer = true;
+    } else if (key == "issued_at") {
+      if (!strings::is_all_digits(value)) {
+        throw ParseError("CRL issued_at is not a timestamp");
+      }
+      out.issued_at = from_unix(std::stoll(std::string(value)));
+      have_time = true;
+    } else if (key == "revoked") {
+      out.serials.emplace_back(value);
+    } else {
+      throw ParseError(fmt::format("unknown CRL field '{}'", key));
+    }
+  }
+  if (!have_issuer || !have_time) {
+    throw ParseError("CRL missing issuer or issued_at");
+  }
+  std::sort(out.serials.begin(), out.serials.end());
+  return out;
+}
+
+bool RevocationList::contains(std::string_view serial_hex) const {
+  return std::binary_search(serials.begin(), serials.end(), serial_hex);
+}
+
+bool SignedRevocationList::verify(const Certificate& ca_certificate) const {
+  if (!(list.issuer == ca_certificate.subject())) return false;
+  return crypto::verify(ca_certificate.public_key(), list.to_text(),
+                        signature);
+}
+
+CertificateAuthority CertificateAuthority::create(
+    const DistinguishedName& name, const crypto::KeySpec& key_spec,
+    Seconds lifetime) {
+  CertificateAuthority ca;
+  ca.key_ = crypto::KeyPair::generate(key_spec);
+  ca.cert_ = CertificateBuilder()
+                 .subject(name)
+                 .issuer(name)
+                 .public_key(ca.key_)
+                 .lifetime(lifetime)
+                 .ca(true)
+                 .sign(ca.key_);
+  return ca;
+}
+
+Certificate CertificateAuthority::issue(const CertificateRequest& csr,
+                                        Seconds lifetime) {
+  if (!csr.verify()) {
+    throw VerificationError(
+        "CSR proof-of-possession signature is invalid");
+  }
+  return issue(csr.subject(), csr.public_key(), lifetime);
+}
+
+Certificate CertificateAuthority::issue(const DistinguishedName& subject,
+                                        const crypto::KeyPair& public_key,
+                                        Seconds lifetime) {
+  if (subject.empty()) {
+    throw PolicyError("refusing to issue a certificate with an empty DN");
+  }
+  if (subject == cert_.subject()) {
+    throw PolicyError("refusing to issue an end-entity cert with the CA DN");
+  }
+  // Reject subjects that would parse as proxies of some other subject we
+  // issued — CN=proxy is reserved for the GSI proxy mechanism.
+  const std::string cn = subject.common_name();
+  if (cn == kProxyCn || cn == kLimitedProxyCn) {
+    throw PolicyError("subject CN collides with the proxy naming convention");
+  }
+  Seconds granted = std::min(lifetime, max_lifetime_);
+  const Seconds ca_remaining = cert_.remaining_lifetime();
+  granted = std::min(granted, ca_remaining);
+  if (granted <= Seconds(0)) {
+    throw ExpiredError("CA certificate has expired");
+  }
+  const Certificate cert = CertificateBuilder()
+                               .subject(subject)
+                               .issuer(cert_.subject())
+                               .public_key(public_key)
+                               .lifetime(granted)
+                               .ca(false)
+                               .sign(key_);
+  {
+    const std::scoped_lock lock(state_->mutex);
+    ++state_->issued;
+  }
+  return cert;
+}
+
+void CertificateAuthority::revoke(const Certificate& cert) {
+  revoke_serial(cert.serial_hex());
+}
+
+void CertificateAuthority::revoke_serial(std::string serial_hex) {
+  const std::scoped_lock lock(state_->mutex);
+  state_->revoked.insert(std::move(serial_hex));
+}
+
+bool CertificateAuthority::is_revoked(std::string_view serial_hex) const {
+  const std::scoped_lock lock(state_->mutex);
+  return state_->revoked.find(serial_hex) != state_->revoked.end();
+}
+
+SignedRevocationList CertificateAuthority::signed_crl() const {
+  SignedRevocationList out;
+  out.list.issuer = cert_.subject();
+  out.list.issued_at = now();
+  {
+    const std::scoped_lock lock(state_->mutex);
+    out.list.serials.assign(state_->revoked.begin(), state_->revoked.end());
+  }
+  out.signature = crypto::sign(key_, out.list.to_text());
+  return out;
+}
+
+std::uint64_t CertificateAuthority::issued_count() const {
+  const std::scoped_lock lock(state_->mutex);
+  return state_->issued;
+}
+
+std::string CertificateAuthority::to_pem(std::string_view pass_phrase) const {
+  // Certificate PEM + encrypted key PEM + one "revoked <serial>" line per
+  // revocation (PEM parsers skip non-PEM lines, so the blob stays loadable
+  // by generic tooling).
+  std::string out = cert_.to_pem();
+  out += key_.private_pem_encrypted(pass_phrase);
+  const std::scoped_lock lock(state_->mutex);
+  for (const auto& serial : state_->revoked) {
+    out += fmt::format("revoked {}\n", serial);
+  }
+  return out;
+}
+
+CertificateAuthority CertificateAuthority::from_pem(
+    std::string_view pem, std::string_view pass_phrase) {
+  CertificateAuthority ca;
+  ca.cert_ = Certificate::from_pem(pem);
+  ca.key_ = crypto::KeyPair::from_private_pem(pem, pass_phrase);
+  if (!ca.cert_.public_key().same_public_key(ca.key_)) {
+    throw VerificationError("CA certificate does not match the stored key");
+  }
+  if (!ca.cert_.is_ca()) {
+    throw VerificationError("stored certificate is not a CA certificate");
+  }
+  for (const auto& line : strings::split(pem, '\n')) {
+    const std::string_view trimmed = strings::trim(line);
+    constexpr std::string_view kPrefix = "revoked ";
+    if (trimmed.starts_with(kPrefix)) {
+      ca.state_->revoked.insert(std::string(trimmed.substr(kPrefix.size())));
+    }
+  }
+  return ca;
+}
+
+}  // namespace myproxy::pki

@@ -1,0 +1,111 @@
+// In-process Certificate Authority. The paper assumes CA-issued long-term
+// credentials as given infrastructure (§2.1: "a digital signature from a
+// trusted party known as a Certificate Authority"); this CA stands in for
+// the production Globus CA so the whole PKI can run on one host.
+//
+// Also provides a lightweight *signed revocation list*: §2.1 names
+// revocation ("until the theft was discovered and the certificate revoked by
+// the CA") as the PKI backstop that bounded-lifetime credentials complement.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "crypto/key_pair.hpp"
+#include "pki/certificate.hpp"
+#include "pki/certificate_request.hpp"
+#include "pki/distinguished_name.hpp"
+
+namespace myproxy::pki {
+
+/// Signed list of revoked serial numbers.
+struct RevocationList {
+  DistinguishedName issuer;
+  TimePoint issued_at;
+  std::vector<std::string> serials;  // lower-case hex, sorted
+
+  /// Canonical text form (also the byte string that gets signed).
+  [[nodiscard]] std::string to_text() const;
+  static RevocationList parse(std::string_view text);
+
+  [[nodiscard]] bool contains(std::string_view serial_hex) const;
+};
+
+/// RevocationList plus the CA signature over its text form.
+struct SignedRevocationList {
+  RevocationList list;
+  std::vector<std::uint8_t> signature;
+
+  /// Verify the signature with the CA certificate's public key and check
+  /// that the list's issuer DN matches the CA subject.
+  [[nodiscard]] bool verify(const Certificate& ca_certificate) const;
+};
+
+class CertificateAuthority {
+ public:
+  /// Create a fresh self-signed CA.
+  static CertificateAuthority create(
+      const DistinguishedName& name,
+      const crypto::KeySpec& key_spec = crypto::KeySpec::rsa(2048),
+      Seconds lifetime = Seconds(10L * 365 * 24 * 3600));
+
+  /// The CA certificate (distribute to trust stores).
+  [[nodiscard]] const Certificate& certificate() const { return cert_; }
+
+  /// Issue an end-entity certificate for a CSR after verifying its
+  /// proof-of-possession signature. Lifetime is clamped to the CA policy
+  /// maximum and the CA's own remaining lifetime.
+  [[nodiscard]] Certificate issue(const CertificateRequest& csr,
+                                  Seconds lifetime);
+
+  /// Issue directly for a known public key (used for host/service certs).
+  [[nodiscard]] Certificate issue(const DistinguishedName& subject,
+                                  const crypto::KeyPair& public_key,
+                                  Seconds lifetime);
+
+  /// Maximum end-entity lifetime this CA will grant (default: 1 year —
+  /// "typically this lifetime is on the order of years", §2.1).
+  void set_max_lifetime(Seconds max) { max_lifetime_ = max; }
+  [[nodiscard]] Seconds max_lifetime() const { return max_lifetime_; }
+
+  /// Revoke by certificate or serial. Idempotent.
+  void revoke(const Certificate& cert);
+  void revoke_serial(std::string serial_hex);
+
+  [[nodiscard]] bool is_revoked(std::string_view serial_hex) const;
+
+  /// Snapshot of the revocation state, signed with the CA key.
+  [[nodiscard]] SignedRevocationList signed_crl() const;
+
+  /// Count of certificates issued so far (stats/tests).
+  [[nodiscard]] std::uint64_t issued_count() const;
+
+  /// Persist the CA (certificate + pass-phrase-encrypted key + revocation
+  /// state) so grid-cert-setup can extend an existing PKI across runs.
+  [[nodiscard]] std::string to_pem(std::string_view pass_phrase) const;
+
+  /// Restore a CA persisted with to_pem. Throws on a wrong pass phrase.
+  static CertificateAuthority from_pem(std::string_view pem,
+                                       std::string_view pass_phrase);
+
+ private:
+  CertificateAuthority() : state_(std::make_unique<State>()) {}
+
+  // Mutable bookkeeping lives behind a pointer so the CA stays movable.
+  struct State {
+    mutable std::mutex mutex;
+    std::set<std::string, std::less<>> revoked;
+    std::uint64_t issued = 0;
+  };
+
+  Certificate cert_;
+  crypto::KeyPair key_;
+  Seconds max_lifetime_{365L * 24 * 3600};
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace myproxy::pki

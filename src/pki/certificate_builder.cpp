@@ -1,0 +1,172 @@
+#include "pki/certificate_builder.hpp"
+
+#include <openssl/asn1.h>
+#include <openssl/bn.h>
+#include <openssl/evp.h>
+#include <openssl/x509.h>
+#include <openssl/x509v3.h>
+
+#include "common/error.hpp"
+#include "crypto/openssl_util.hpp"
+#include "crypto/random.hpp"
+
+namespace myproxy::pki {
+
+namespace {
+
+void set_asn1_time(ASN1_TIME* target, TimePoint t) {
+  const std::time_t secs = static_cast<std::time_t>(to_unix(t));
+  crypto::check_ptr(ASN1_TIME_set(target, secs), "ASN1_TIME_set");
+}
+
+void set_serial(X509* x, const std::string& hex) {
+  BIGNUM* bn = nullptr;
+  if (BN_hex2bn(&bn, hex.c_str()) == 0) {
+    crypto::throw_openssl("BN_hex2bn(serial)");
+  }
+  ASN1_INTEGER* serial = BN_to_ASN1_INTEGER(bn, nullptr);
+  BN_free(bn);
+  crypto::check_ptr(serial, "BN_to_ASN1_INTEGER");
+  const int rc = X509_set_serialNumber(x, serial);
+  ASN1_INTEGER_free(serial);
+  crypto::check(rc, "X509_set_serialNumber");
+}
+
+void add_basic_constraints(X509* x, bool is_ca) {
+  BASIC_CONSTRAINTS* bc = BASIC_CONSTRAINTS_new();
+  crypto::check_ptr(bc, "BASIC_CONSTRAINTS_new");
+  bc->ca = is_ca ? 0xFF : 0;
+  X509_EXTENSION* ext =
+      X509V3_EXT_i2d(NID_basic_constraints, /*crit=*/1, bc);
+  BASIC_CONSTRAINTS_free(bc);
+  crypto::check_ptr(ext, "X509V3_EXT_i2d(basicConstraints)");
+  const int rc = X509_add_ext(x, ext, -1);
+  X509_EXTENSION_free(ext);
+  crypto::check(rc, "X509_add_ext(basicConstraints)");
+}
+
+void add_policy_extension(X509* x, const RestrictionPolicy& policy) {
+  const std::string text = policy.str();
+  ASN1_OCTET_STRING* data = ASN1_OCTET_STRING_new();
+  crypto::check_ptr(data, "ASN1_OCTET_STRING_new");
+  crypto::check(
+      ASN1_OCTET_STRING_set(
+          data, reinterpret_cast<const unsigned char*>(text.data()),
+          static_cast<int>(text.size())),
+      "ASN1_OCTET_STRING_set");
+  ASN1_OBJECT* obj = OBJ_nid2obj(proxy_policy_nid());
+  X509_EXTENSION* ext =
+      X509_EXTENSION_create_by_OBJ(nullptr, obj, /*crit=*/0, data);
+  ASN1_OCTET_STRING_free(data);
+  crypto::check_ptr(ext, "X509_EXTENSION_create_by_OBJ");
+  const int rc = X509_add_ext(x, ext, -1);
+  X509_EXTENSION_free(ext);
+  crypto::check(rc, "X509_add_ext(proxy policy)");
+}
+
+}  // namespace
+
+CertificateBuilder::CertificateBuilder() {
+  const TimePoint start = now();
+  not_before_ = start - kValiditySkew;
+  not_after_ = start + kDefaultProxyLifetime;
+}
+
+CertificateBuilder& CertificateBuilder::subject(DistinguishedName dn) {
+  subject_ = std::move(dn);
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::issuer(DistinguishedName dn) {
+  issuer_ = std::move(dn);
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::public_key(
+    const crypto::KeyPair& key) {
+  public_key_ = key;
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::lifetime(Seconds lifetime) {
+  if (lifetime <= Seconds(0)) {
+    throw PolicyError("certificate lifetime must be positive");
+  }
+  const TimePoint start = now();
+  not_before_ = start - kValiditySkew;
+  not_after_ = start + lifetime;
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::validity(TimePoint not_before,
+                                                 TimePoint not_after) {
+  if (not_after <= not_before) {
+    throw PolicyError("certificate validity window is empty");
+  }
+  not_before_ = not_before;
+  not_after_ = not_after;
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::serial_hex(std::string hex) {
+  serial_hex_ = std::move(hex);
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::ca(bool is_ca) {
+  is_ca_ = is_ca;
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::restriction(RestrictionPolicy policy) {
+  restriction_ = std::move(policy);
+  return *this;
+}
+
+Certificate CertificateBuilder::sign(const crypto::KeyPair& issuer_key) const {
+  if (!subject_.has_value() || !issuer_.has_value()) {
+    throw Error(ErrorCode::kInternal,
+                "CertificateBuilder: subject and issuer are required");
+  }
+  if (!public_key_.valid()) {
+    throw Error(ErrorCode::kInternal,
+                "CertificateBuilder: public key is required");
+  }
+  if (!issuer_key.has_private()) {
+    throw CryptoError("CertificateBuilder: issuer key lacks a private half");
+  }
+
+  crypto::X509Ptr x(crypto::check_ptr(X509_new(), "X509_new"));
+  crypto::check(X509_set_version(x.get(), 2), "X509_set_version");  // v3
+
+  set_serial(x.get(),
+             serial_hex_.has_value() ? *serial_hex_ : crypto::random_hex(8));
+
+  X509_NAME* subject_name = subject_->to_x509_name();
+  int rc = X509_set_subject_name(x.get(), subject_name);
+  X509_NAME_free(subject_name);
+  crypto::check(rc, "X509_set_subject_name");
+
+  X509_NAME* issuer_name = issuer_->to_x509_name();
+  rc = X509_set_issuer_name(x.get(), issuer_name);
+  X509_NAME_free(issuer_name);
+  crypto::check(rc, "X509_set_issuer_name");
+
+  set_asn1_time(X509_getm_notBefore(x.get()), not_before_);
+  set_asn1_time(X509_getm_notAfter(x.get()), not_after_);
+
+  crypto::check(X509_set_pubkey(x.get(), public_key_.native()),
+                "X509_set_pubkey");
+
+  add_basic_constraints(x.get(), is_ca_);
+  if (restriction_.has_value()) {
+    add_policy_extension(x.get(), *restriction_);
+  }
+
+  if (X509_sign(x.get(), issuer_key.native(), EVP_sha256()) <= 0) {
+    crypto::throw_openssl("X509_sign");
+  }
+  return Certificate::adopt(x.release());
+}
+
+}  // namespace myproxy::pki

@@ -1,0 +1,91 @@
+#include "pki/certificate_request.hpp"
+
+#include <openssl/evp.h>
+#include <openssl/pem.h>
+#include <openssl/x509.h>
+
+#include "common/error.hpp"
+#include "crypto/openssl_util.hpp"
+
+namespace myproxy::pki {
+
+namespace {
+
+std::shared_ptr<X509_REQ> wrap(X509_REQ* r) {
+  return std::shared_ptr<X509_REQ>(r, [](X509_REQ* p) { X509_REQ_free(p); });
+}
+
+X509_REQ* require(const std::shared_ptr<X509_REQ>& r) {
+  if (r == nullptr) {
+    throw Error(ErrorCode::kInternal, "empty CertificateRequest");
+  }
+  return r.get();
+}
+
+}  // namespace
+
+CertificateRequest CertificateRequest::create(
+    const DistinguishedName& subject, const crypto::KeyPair& key) {
+  if (!key.has_private()) {
+    throw CryptoError("CSR creation requires a private key");
+  }
+  crypto::X509ReqPtr req(
+      crypto::check_ptr(X509_REQ_new(), "X509_REQ_new"));
+  crypto::check(X509_REQ_set_version(req.get(), 0), "X509_REQ_set_version");
+
+  X509_NAME* name = subject.to_x509_name();
+  const int rc = X509_REQ_set_subject_name(req.get(), name);
+  X509_NAME_free(name);
+  crypto::check(rc, "X509_REQ_set_subject_name");
+
+  crypto::check(X509_REQ_set_pubkey(req.get(), key.native()),
+                "X509_REQ_set_pubkey");
+  if (X509_REQ_sign(req.get(), key.native(), EVP_sha256()) <= 0) {
+    crypto::throw_openssl("X509_REQ_sign");
+  }
+
+  CertificateRequest out;
+  out.req_ = wrap(req.release());
+  return out;
+}
+
+CertificateRequest CertificateRequest::from_pem(std::string_view pem) {
+  crypto::BioPtr bio = crypto::memory_bio(pem);
+  X509_REQ* req = PEM_read_bio_X509_REQ(bio.get(), nullptr, nullptr, nullptr);
+  if (req == nullptr) {
+    (void)crypto::drain_error_queue();
+    throw ParseError("no certificate request found in PEM input");
+  }
+  CertificateRequest out;
+  out.req_ = wrap(req);
+  return out;
+}
+
+std::string CertificateRequest::to_pem() const {
+  crypto::BioPtr bio = crypto::memory_bio();
+  crypto::check(PEM_write_bio_X509_REQ(bio.get(), require(req_)),
+                "PEM_write_bio_X509_REQ");
+  return crypto::bio_to_string(bio.get());
+}
+
+DistinguishedName CertificateRequest::subject() const {
+  return DistinguishedName::from_x509_name(
+      X509_REQ_get_subject_name(require(req_)));
+}
+
+crypto::KeyPair CertificateRequest::public_key() const {
+  EVP_PKEY* key = X509_REQ_get_pubkey(require(req_));  // +1 reference
+  crypto::check_ptr(key, "X509_REQ_get_pubkey");
+  return crypto::KeyPair::adopt(key, /*has_private=*/false);
+}
+
+bool CertificateRequest::verify() const {
+  EVP_PKEY* key = X509_REQ_get_pubkey(require(req_));
+  crypto::check_ptr(key, "X509_REQ_get_pubkey");
+  const int rc = X509_REQ_verify(require(req_), key);
+  EVP_PKEY_free(key);
+  if (rc < 0) (void)crypto::drain_error_queue();
+  return rc == 1;
+}
+
+}  // namespace myproxy::pki

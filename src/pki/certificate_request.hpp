@@ -1,0 +1,46 @@
+// PKCS#10 certificate signing requests. Delegation (paper §2.4) works by
+// the *receiver* generating a fresh key pair and sending a CSR; the sender
+// signs it with the credential being delegated. The private key never
+// crosses the wire.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "crypto/key_pair.hpp"
+#include "pki/distinguished_name.hpp"
+
+using X509_REQ = struct X509_req_st;
+
+namespace myproxy::pki {
+
+class CertificateRequest {
+ public:
+  CertificateRequest() = default;
+
+  /// Build a CSR for `subject`, self-signed with `key` (proof of possession).
+  static CertificateRequest create(const DistinguishedName& subject,
+                                   const crypto::KeyPair& key);
+
+  static CertificateRequest from_pem(std::string_view pem);
+
+  [[nodiscard]] std::string to_pem() const;
+
+  [[nodiscard]] DistinguishedName subject() const;
+
+  /// Public key the requester proved possession of.
+  [[nodiscard]] crypto::KeyPair public_key() const;
+
+  /// Verify the CSR's self-signature (proof of possession of the key).
+  [[nodiscard]] bool verify() const;
+
+  [[nodiscard]] bool valid() const noexcept { return req_ != nullptr; }
+
+  [[nodiscard]] X509_REQ* native() const noexcept { return req_.get(); }
+
+ private:
+  std::shared_ptr<X509_REQ> req_;
+};
+
+}  // namespace myproxy::pki

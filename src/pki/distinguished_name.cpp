@@ -1,0 +1,170 @@
+#include "pki/distinguished_name.hpp"
+
+#include <openssl/objects.h>
+#include <openssl/x509.h>
+
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+#include "common/strings.hpp"
+#include "crypto/openssl_util.hpp"
+
+namespace myproxy::pki {
+
+namespace {
+
+// Attribute names we accept in parsed DNs, mapped to OpenSSL NIDs.
+int attribute_nid(std::string_view attr) {
+  const int nid = OBJ_txt2nid(std::string(attr).c_str());
+  if (nid == NID_undef) {
+    throw ParseError(fmt::format("unknown DN attribute '{}'", attr));
+  }
+  return nid;
+}
+
+}  // namespace
+
+DistinguishedName DistinguishedName::parse(std::string_view text) {
+  if (text.empty()) return {};
+  if (text.front() != '/') {
+    throw ParseError(fmt::format("DN must start with '/': '{}'", text));
+  }
+  std::vector<Component> components;
+  // Split on unescaped '/'; a backslash escapes the following character
+  // (so values may contain '/' and '\').
+  std::vector<std::string> fields;
+  std::string current;
+  for (std::size_t i = 1; i <= text.size(); ++i) {
+    if (i == text.size()) {
+      fields.push_back(current);
+      current.clear();
+    } else if (text[i] == '\\') {
+      if (i + 1 >= text.size()) {
+        throw ParseError(fmt::format("dangling escape in DN '{}'", text));
+      }
+      current += text[++i];
+    } else if (text[i] == '/') {
+      fields.push_back(current);
+      current.clear();
+    } else {
+      current += text[i];
+    }
+  }
+  for (const auto& field : fields) {
+    if (field.empty()) {
+      throw ParseError(fmt::format("empty DN component in '{}'", text));
+    }
+    const std::size_t eq = field.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw ParseError(
+          fmt::format("DN component '{}' is not attr=value", field));
+    }
+    std::string attr(strings::trim(std::string_view(field).substr(0, eq)));
+    std::string value(field.substr(eq + 1));
+    if (value.empty()) {
+      throw ParseError(fmt::format("empty value in DN component '{}'", field));
+    }
+    (void)attribute_nid(attr);  // validate early
+    components.emplace_back(std::move(attr), std::move(value));
+  }
+  return DistinguishedName(std::move(components));
+}
+
+DistinguishedName DistinguishedName::from_x509_name(const X509_NAME* name) {
+  std::vector<Component> components;
+  const int count = X509_NAME_entry_count(name);
+  components.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const X509_NAME_ENTRY* entry =
+        X509_NAME_get_entry(const_cast<X509_NAME*>(name), i);
+    const ASN1_OBJECT* obj = X509_NAME_ENTRY_get_object(entry);
+    const ASN1_STRING* data = X509_NAME_ENTRY_get_data(entry);
+    // Prefer the short name ("C", "O", "CN") — the form GSI one-line DNs
+    // use; fall back to the dotted OID for exotic attributes.
+    char attr[80];
+    const int nid = OBJ_obj2nid(obj);
+    if (nid != NID_undef) {
+      std::snprintf(attr, sizeof(attr), "%s", OBJ_nid2sn(nid));
+    } else {
+      OBJ_obj2txt(attr, sizeof(attr), obj, 1);
+    }
+    unsigned char* utf8 = nullptr;
+    const int len = ASN1_STRING_to_UTF8(&utf8, data);
+    if (len < 0) crypto::throw_openssl("ASN1_STRING_to_UTF8");
+    std::string value(reinterpret_cast<char*>(utf8),
+                      static_cast<std::size_t>(len));
+    OPENSSL_free(utf8);
+    components.emplace_back(attr, std::move(value));
+  }
+  return DistinguishedName(std::move(components));
+}
+
+std::string DistinguishedName::str() const {
+  std::string out;
+  for (const auto& [attr, value] : components_) {
+    out += '/';
+    out += attr;
+    out += '=';
+    // Escape separators and the escape character itself so str() parses
+    // back losslessly.
+    for (const char c : value) {
+      if (c == '/' || c == '\\') out += '\\';
+      out += c;
+    }
+  }
+  return out;
+}
+
+X509_NAME* DistinguishedName::to_x509_name() const {
+  X509_NAME* name = crypto::check_ptr(X509_NAME_new(), "X509_NAME_new");
+  try {
+    for (const auto& [attr, value] : components_) {
+      crypto::check(
+          X509_NAME_add_entry_by_NID(
+              name, attribute_nid(attr), MBSTRING_UTF8,
+              reinterpret_cast<const unsigned char*>(value.data()),
+              static_cast<int>(value.size()), -1, 0),
+          "X509_NAME_add_entry_by_NID");
+    }
+  } catch (...) {
+    X509_NAME_free(name);
+    throw;
+  }
+  return name;
+}
+
+std::string DistinguishedName::common_name() const {
+  for (auto it = components_.rbegin(); it != components_.rend(); ++it) {
+    if (it->first == "CN" || it->first == "commonName") return it->second;
+  }
+  return {};
+}
+
+DistinguishedName DistinguishedName::with_cn(std::string_view cn) const {
+  std::vector<Component> components = components_;
+  components.emplace_back("CN", std::string(cn));
+  return DistinguishedName(std::move(components));
+}
+
+bool DistinguishedName::extends_by_one_cn(const DistinguishedName& base,
+                                          std::string* cn_out) const {
+  if (components_.size() != base.components_.size() + 1) return false;
+  if (!std::equal(base.components_.begin(), base.components_.end(),
+                  components_.begin())) {
+    return false;
+  }
+  const Component& last = components_.back();
+  if (last.first != "CN" && last.first != "commonName") return false;
+  if (cn_out != nullptr) *cn_out = last.second;
+  return true;
+}
+
+DistinguishedName DistinguishedName::parent() const {
+  if (components_.empty()) return {};
+  std::vector<Component> components(components_.begin(),
+                                    components_.end() - 1);
+  return DistinguishedName(std::move(components));
+}
+
+}  // namespace myproxy::pki

@@ -1,0 +1,81 @@
+// Distinguished Names. Every Grid entity is identified by a globally unique
+// DN (paper §2.1); GSI tools render DNs in the one-line OpenSSL "oneline"
+// style: "/C=US/O=Grid/OU=People/CN=Alice".
+//
+// Proxy certificates extend the issuer's DN with a final "CN=proxy" or
+// "CN=limited proxy" component (§2.3), so DN component order matters and is
+// preserved here.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+// Forward declaration to keep OpenSSL out of the public header.
+using X509_NAME = struct X509_name_st;
+
+namespace myproxy::pki {
+
+/// CN value marking a full-rights proxy certificate.
+inline constexpr std::string_view kProxyCn = "proxy";
+/// CN value marking a limited proxy certificate (GRAM refuses these).
+inline constexpr std::string_view kLimitedProxyCn = "limited proxy";
+
+class DistinguishedName {
+ public:
+  using Component = std::pair<std::string, std::string>;  // {attr, value}
+
+  DistinguishedName() = default;
+  explicit DistinguishedName(std::vector<Component> components)
+      : components_(std::move(components)) {}
+
+  /// Parse "/C=US/O=Grid/CN=alice". Throws ParseError on malformed input.
+  /// Escaped slashes ("\/") inside values are supported.
+  static DistinguishedName parse(std::string_view text);
+
+  /// Build from an OpenSSL X509_NAME (borrowed, not consumed).
+  static DistinguishedName from_x509_name(const X509_NAME* name);
+
+  /// Render in GSI one-line form.
+  [[nodiscard]] std::string str() const;
+
+  /// Fresh X509_NAME the caller owns (used when building certificates).
+  [[nodiscard]] X509_NAME* to_x509_name() const;
+
+  [[nodiscard]] const std::vector<Component>& components() const noexcept {
+    return components_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return components_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return components_.size();
+  }
+
+  /// Value of the most specific (last) CN component, or "" if none.
+  [[nodiscard]] std::string common_name() const;
+
+  /// This DN plus one more CN component (how proxy subjects are formed).
+  [[nodiscard]] DistinguishedName with_cn(std::string_view cn) const;
+
+  /// True if this DN is exactly `base` plus one trailing CN component;
+  /// if so, `*cn_out` receives that CN's value.
+  [[nodiscard]] bool extends_by_one_cn(const DistinguishedName& base,
+                                       std::string* cn_out = nullptr) const;
+
+  /// DN with the final component removed; empty DN if already empty.
+  [[nodiscard]] DistinguishedName parent() const;
+
+  friend bool operator==(const DistinguishedName& a,
+                         const DistinguishedName& b) {
+    return a.components_ == b.components_;
+  }
+  friend auto operator<=>(const DistinguishedName& a,
+                          const DistinguishedName& b) {
+    return a.components_ <=> b.components_;
+  }
+
+ private:
+  std::vector<Component> components_;
+};
+
+}  // namespace myproxy::pki

@@ -1,0 +1,75 @@
+#include "pki/proxy_policy.hpp"
+
+#include <openssl/objects.h>
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+#include "common/strings.hpp"
+#include "crypto/openssl_util.hpp"
+
+namespace myproxy::pki {
+
+std::string RestrictionPolicy::str() const {
+  return "rights=" + strings::join(rights, ",");
+}
+
+RestrictionPolicy RestrictionPolicy::parse(std::string_view text) {
+  const std::string_view trimmed = strings::trim(text);
+  constexpr std::string_view kPrefix = "rights=";
+  if (!trimmed.starts_with(kPrefix)) {
+    throw ParseError(
+        fmt::format("restriction policy must start with 'rights=': '{}'",
+                    trimmed));
+  }
+  RestrictionPolicy policy;
+  policy.rights =
+      strings::split_trimmed(trimmed.substr(kPrefix.size()), ',');
+  for (const auto& right : policy.rights) {
+    if (right.find('=') != std::string::npos ||
+        right.find(';') != std::string::npos) {
+      throw ParseError(fmt::format("malformed right '{}'", right));
+    }
+  }
+  std::sort(policy.rights.begin(), policy.rights.end());
+  policy.rights.erase(std::unique(policy.rights.begin(), policy.rights.end()),
+                      policy.rights.end());
+  return policy;
+}
+
+bool RestrictionPolicy::allows(std::string_view right) const {
+  return std::binary_search(rights.begin(), rights.end(), right);
+}
+
+RestrictionPolicy RestrictionPolicy::intersect(
+    const RestrictionPolicy& other) const {
+  RestrictionPolicy out;
+  std::set_intersection(rights.begin(), rights.end(), other.rights.begin(),
+                        other.rights.end(), std::back_inserter(out.rights));
+  return out;
+}
+
+EffectivePolicy compose(EffectivePolicy chain, const EffectivePolicy& link) {
+  if (!link.has_value()) return chain;          // unrestricted link
+  if (!chain.has_value()) return link;          // first restriction
+  return chain->intersect(*link);               // restrictions intersect
+}
+
+int proxy_policy_nid() {
+  static std::once_flag once;
+  static int nid = NID_undef;
+  std::call_once(once, [] {
+    const std::string oid(kProxyPolicyOid);
+    nid = OBJ_txt2nid(oid.c_str());
+    if (nid == NID_undef) {
+      nid = OBJ_create(oid.c_str(), "myproxyProxyPolicy",
+                       "MyProxy restricted proxy policy");
+    }
+    if (nid == NID_undef) crypto::throw_openssl("OBJ_create(proxy policy)");
+  });
+  return nid;
+}
+
+}  // namespace myproxy::pki

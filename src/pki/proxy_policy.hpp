@@ -1,0 +1,59 @@
+// Restricted-proxy policy extension (paper §6.5).
+//
+// The 2001 drafts (GGF draft-ggf-x509-res-delegation, IETF
+// draft-ietf-pkix-impersonation, later RFC 3820 ProxyCertInfo) let a user
+// embed fine-grained restrictions in a delegated proxy so that a stolen
+// proxy — even one stolen from the MyProxy repository itself — can only be
+// used for the listed rights. We carry the policy as an ASN.1 OCTET STRING
+// in a dedicated X.509v3 extension.
+//
+// Policy language (deliberately simple, matching the draft's spirit):
+//   "rights=<r1>,<r2>,..."   e.g. "rights=file-read,job-submit"
+// An empty rights list means "no rights" (a crippled proxy). Absence of the
+// extension means an unrestricted proxy. Restrictions intersect along a
+// delegation chain: a right survives only if every restricted link grants it.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace myproxy::pki {
+
+/// Dotted OID of the policy extension (private enterprise arc).
+inline constexpr std::string_view kProxyPolicyOid = "1.3.6.1.4.1.3536.1.222";
+
+/// Parsed restriction policy.
+struct RestrictionPolicy {
+  std::vector<std::string> rights;  // sorted, deduplicated
+
+  /// Serialize to the on-wire "rights=a,b,c" form.
+  [[nodiscard]] std::string str() const;
+
+  /// Parse "rights=a,b,c"; throws ParseError on malformed text.
+  static RestrictionPolicy parse(std::string_view text);
+
+  /// Does this policy grant `right`?
+  [[nodiscard]] bool allows(std::string_view right) const;
+
+  /// Intersection of two policies (chain composition rule).
+  [[nodiscard]] RestrictionPolicy intersect(
+      const RestrictionPolicy& other) const;
+
+  friend bool operator==(const RestrictionPolicy&,
+                         const RestrictionPolicy&) = default;
+};
+
+/// Effective rights along a chain: nullopt = unrestricted.
+using EffectivePolicy = std::optional<RestrictionPolicy>;
+
+/// Combine a link's policy into the chain's effective policy.
+[[nodiscard]] EffectivePolicy compose(EffectivePolicy chain,
+                                      const EffectivePolicy& link);
+
+/// Registers the extension OID with OpenSSL (idempotent, thread-safe) and
+/// returns its NID.
+int proxy_policy_nid();
+
+}  // namespace myproxy::pki

@@ -1,0 +1,251 @@
+#include "portal/http.hpp"
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+#include "common/strings.hpp"
+
+namespace myproxy::portal {
+
+namespace {
+
+std::map<std::string, std::string> parse_headers(
+    const std::vector<std::string>& lines, std::size_t start) {
+  std::map<std::string, std::string> headers;
+  for (std::size_t i = start; i < lines.size(); ++i) {
+    const std::string_view line = lines[i];
+    if (line.empty()) break;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      throw ParseError(fmt::format("malformed header line: '{}'", line));
+    }
+    headers[strings::to_lower(strings::trim(line.substr(0, colon)))] =
+        std::string(strings::trim(line.substr(colon + 1)));
+  }
+  return headers;
+}
+
+std::pair<std::string_view, std::string_view> split_head_body(
+    std::string_view raw) {
+  const std::size_t sep = raw.find("\r\n\r\n");
+  if (sep == std::string_view::npos) {
+    throw ParseError("HTTP message missing header terminator");
+  }
+  return {raw.substr(0, sep), raw.substr(sep + 4)};
+}
+
+}  // namespace
+
+std::optional<std::string> HttpRequest::header(std::string_view name) const {
+  const auto it = headers.find(strings::to_lower(name));
+  if (it == headers.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::string> HttpRequest::cookie(std::string_view name) const {
+  const auto raw = header("cookie");
+  if (!raw.has_value()) return std::nullopt;
+  for (const auto& part : strings::split_trimmed(*raw, ';')) {
+    const std::size_t eq = part.find('=');
+    if (eq == std::string::npos) continue;
+    if (strings::trim(std::string_view(part).substr(0, eq)) == name) {
+      return std::string(strings::trim(std::string_view(part).substr(eq + 1)));
+    }
+  }
+  return std::nullopt;
+}
+
+std::map<std::string, std::string> HttpRequest::form() const {
+  return parse_form(body);
+}
+
+std::string HttpRequest::serialize() const {
+  std::string out = fmt::format("{} {} {}\r\n", method, target,
+                                version.empty() ? "HTTP/1.1" : version);
+  for (const auto& [name, value] : headers) {
+    out += fmt::format("{}: {}\r\n", name, value);
+  }
+  if (!body.empty() && headers.find("content-length") == headers.end()) {
+    out += fmt::format("content-length: {}\r\n", body.size());
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+std::string HttpResponse::serialize() const {
+  std::string out = fmt::format("HTTP/1.1 {} {}\r\n", status, reason);
+  for (const auto& [name, value] : headers) {
+    out += fmt::format("{}: {}\r\n", name, value);
+  }
+  if (headers.find("content-length") == headers.end()) {
+    out += fmt::format("content-length: {}\r\n", body.size());
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+HttpResponse HttpResponse::html(std::string body) {
+  HttpResponse response;
+  response.headers["content-type"] = "text/html; charset=utf-8";
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse HttpResponse::redirect(std::string_view location) {
+  HttpResponse response;
+  response.status = 303;
+  response.reason = "See Other";
+  response.headers["location"] = std::string(location);
+  return response;
+}
+
+HttpResponse HttpResponse::error(int status, std::string_view reason,
+                                 std::string_view message) {
+  HttpResponse response;
+  response.status = status;
+  response.reason = std::string(reason);
+  response.headers["content-type"] = "text/html; charset=utf-8";
+  response.body = fmt::format("<html><body><h1>{} {}</h1><p>{}</p></body></html>",
+                              status, reason, html_escape(message));
+  return response;
+}
+
+HttpRequest parse_request(std::string_view raw) {
+  const auto [head, body] = split_head_body(raw);
+  const auto lines = strings::split(head, '\n');
+  if (lines.empty()) throw ParseError("empty HTTP request");
+  // Request line: METHOD SP TARGET SP VERSION (tolerate trailing \r).
+  const auto parts =
+      strings::split_trimmed(strings::trim(lines[0]), ' ');
+  if (parts.size() != 3) {
+    throw ParseError(fmt::format("malformed request line: '{}'", lines[0]));
+  }
+  HttpRequest request;
+  request.method = parts[0];
+  request.target = parts[1];
+  request.version = parts[2];
+  std::vector<std::string> trimmed;
+  trimmed.reserve(lines.size());
+  for (const auto& line : lines) {
+    trimmed.emplace_back(strings::trim(line));
+  }
+  request.headers = parse_headers(trimmed, 1);
+  request.body = std::string(body);
+  return request;
+}
+
+HttpResponse parse_response(std::string_view raw) {
+  const auto [head, body] = split_head_body(raw);
+  const auto lines = strings::split(head, '\n');
+  if (lines.empty()) throw ParseError("empty HTTP response");
+  const std::string_view status_line = strings::trim(lines[0]);
+  if (!status_line.starts_with("HTTP/")) {
+    throw ParseError(fmt::format("malformed status line: '{}'", status_line));
+  }
+  HttpResponse response;
+  const auto parts = strings::split(status_line, ' ');
+  if (parts.size() < 2) throw ParseError("malformed status line");
+  response.status = std::stoi(parts[1]);
+  response.reason = parts.size() > 2
+                        ? strings::join({parts.begin() + 2, parts.end()}, " ")
+                        : "";
+  std::vector<std::string> trimmed;
+  for (const auto& line : lines) trimmed.emplace_back(strings::trim(line));
+  response.headers = parse_headers(trimmed, 1);
+  response.body = std::string(body);
+  return response;
+}
+
+std::string url_decode(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '+') {
+      out += ' ';
+    } else if (c == '%') {
+      if (i + 2 >= text.size()) {
+        throw ParseError("truncated percent escape");
+      }
+      const auto hex = [](char h) -> int {
+        if (h >= '0' && h <= '9') return h - '0';
+        if (h >= 'a' && h <= 'f') return h - 'a' + 10;
+        if (h >= 'A' && h <= 'F') return h - 'A' + 10;
+        return -1;
+      };
+      const int hi = hex(text[i + 1]);
+      const int lo = hex(text[i + 2]);
+      if (hi < 0 || lo < 0) throw ParseError("invalid percent escape");
+      out += static_cast<char>((hi << 4) | lo);
+      i += 2;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string url_encode(std::string_view text) {
+  static constexpr std::string_view kHex = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    const auto uc = static_cast<unsigned char>(c);
+    if (std::isalnum(uc) != 0 || c == '-' || c == '_' || c == '.' ||
+        c == '~') {
+      out += c;
+    } else if (c == ' ') {
+      out += '+';
+    } else {
+      out += '%';
+      out += kHex[uc >> 4];
+      out += kHex[uc & 0x0f];
+    }
+  }
+  return out;
+}
+
+std::map<std::string, std::string> parse_form(std::string_view text) {
+  std::map<std::string, std::string> out;
+  if (text.empty()) return out;
+  for (const auto& pair : strings::split(text, '&')) {
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      out[url_decode(pair)] = "";
+    } else {
+      out[url_decode(pair.substr(0, eq))] = url_decode(pair.substr(eq + 1));
+    }
+  }
+  return out;
+}
+
+std::string html_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&#39;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace myproxy::portal

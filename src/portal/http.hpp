@@ -1,0 +1,67 @@
+// Minimal HTTP/1.1 message handling for the Grid portal (paper §4.3, §5.2).
+// Enough of the protocol for a 2001-era portal: GET/POST, headers, cookies,
+// application/x-www-form-urlencoded bodies, Content-Length framing.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace myproxy::portal {
+
+/// Read side of an HTTP request.
+struct HttpRequest {
+  std::string method;   // "GET", "POST"
+  std::string target;   // "/login"
+  std::string version;  // "HTTP/1.1"
+  // Header names lower-cased.
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  [[nodiscard]] std::optional<std::string> header(
+      std::string_view name) const;
+
+  /// Value of cookie `name` from the Cookie header, if present.
+  [[nodiscard]] std::optional<std::string> cookie(
+      std::string_view name) const;
+
+  /// Parse a form-encoded body (or query string) into key/value pairs.
+  [[nodiscard]] std::map<std::string, std::string> form() const;
+
+  [[nodiscard]] std::string serialize() const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string reason = "OK";
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  [[nodiscard]] std::string serialize() const;
+
+  static HttpResponse html(std::string body);
+  static HttpResponse redirect(std::string_view location);
+  static HttpResponse error(int status, std::string_view reason,
+                            std::string_view message);
+};
+
+/// Parse one HTTP request from a raw buffer (must contain the whole
+/// request; the portal reads until header end + Content-Length).
+[[nodiscard]] HttpRequest parse_request(std::string_view raw);
+
+/// Parse one HTTP response (used by the test "browser").
+[[nodiscard]] HttpResponse parse_response(std::string_view raw);
+
+/// Percent-decoding for form fields ('+' becomes space).
+[[nodiscard]] std::string url_decode(std::string_view text);
+[[nodiscard]] std::string url_encode(std::string_view text);
+
+/// Parse "a=1&b=2" into a map (keys/values url-decoded).
+[[nodiscard]] std::map<std::string, std::string> parse_form(
+    std::string_view text);
+
+/// Escape text for embedding in HTML.
+[[nodiscard]] std::string html_escape(std::string_view text);
+
+}  // namespace myproxy::portal

@@ -1,0 +1,84 @@
+#include "portal/session.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "crypto/random.hpp"
+
+namespace myproxy::portal {
+
+namespace {
+constexpr std::string_view kLogComponent = "portal.session";
+}  // namespace
+
+std::string SessionManager::create(std::string username,
+                                   gsi::Credential credential) {
+  Session session;
+  session.id = crypto::random_hex(16);  // 128 bits of entropy
+  session.username = std::move(username);
+  session.created_at = now();
+  session.expires_at =
+      std::min(credential.not_after(), session.created_at + idle_limit_);
+  session.credential = std::move(credential);
+
+  const std::scoped_lock lock(mutex_);
+  const std::string id = session.id;
+  sessions_.emplace(id, std::move(session));
+  log::info(kLogComponent, "session created for '{}' (expires {})",
+            sessions_.at(id).username, format_utc(sessions_.at(id).expires_at));
+  return id;
+}
+
+std::optional<Session> SessionManager::find(const std::string& id) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) return std::nullopt;
+  if (now() >= it->second.expires_at || it->second.credential.expired()) {
+    // §4.3: if the user forgets to log out, the credential expires and the
+    // session dies with it.
+    log::info(kLogComponent, "session for '{}' expired", it->second.username);
+    sessions_.erase(it);
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+bool SessionManager::destroy(const std::string& id) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) return false;
+  log::info(kLogComponent, "session for '{}' logged out",
+            it->second.username);
+  sessions_.erase(it);  // Credential destructor wipes the key material.
+  return true;
+}
+
+void SessionManager::record_job(const std::string& id, std::string job_id) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = sessions_.find(id);
+  if (it != sessions_.end()) {
+    it->second.job_ids.push_back(std::move(job_id));
+  }
+}
+
+std::size_t SessionManager::sweep() {
+  const std::scoped_lock lock(mutex_);
+  std::size_t swept = 0;
+  const TimePoint t = now();
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (t >= it->second.expires_at || it->second.credential.expired()) {
+      it = sessions_.erase(it);
+      ++swept;
+    } else {
+      ++it;
+    }
+  }
+  return swept;
+}
+
+std::size_t SessionManager::size() const {
+  const std::scoped_lock lock(mutex_);
+  return sessions_.size();
+}
+
+}  // namespace myproxy::portal

@@ -1,0 +1,67 @@
+// Web session management for the Grid portal (paper §5.2): "it is the
+// portal's responsibility to not only maintain the user's credentials while
+// in use, but to map the credentials to the user's web session ... often
+// accomplished with cookies."
+//
+// A session binds a cookie to the user's delegated proxy credential.
+// Logging out (or session expiry) deletes the credential from the portal —
+// §4.3: "The operation of logging out of the portal deletes the user's
+// delegated credential on the portal."
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "gsi/credential.hpp"
+
+namespace myproxy::portal {
+
+struct Session {
+  std::string id;           ///< cookie value (random, unguessable)
+  std::string username;     ///< MyProxy account used at login
+  gsi::Credential credential;  ///< the delegated proxy
+  TimePoint created_at{};
+  TimePoint expires_at{};   ///< min(credential expiry, idle limit)
+  std::vector<std::string> job_ids;  ///< jobs submitted in this session
+};
+
+class SessionManager {
+ public:
+  /// `idle_limit` bounds a session even if the credential lives longer.
+  explicit SessionManager(Seconds idle_limit = Seconds(3600))
+      : idle_limit_(idle_limit) {}
+
+  /// Create a session for a freshly delegated credential; returns the
+  /// cookie value.
+  std::string create(std::string username, gsi::Credential credential);
+
+  /// Look up a live session; expired sessions are dropped (and their
+  /// credential destroyed) on access.
+  [[nodiscard]] std::optional<Session> find(const std::string& id);
+
+  /// Logout: remove the session and its credential. Returns false if the
+  /// session did not exist.
+  bool destroy(const std::string& id);
+
+  /// Record a job submitted within session `id` (no-op if expired).
+  void record_job(const std::string& id, std::string job_id);
+
+  /// Drop every session whose credential or idle limit has lapsed.
+  std::size_t sweep();
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  Seconds idle_limit_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Session> sessions_;
+};
+
+/// Cookie name, after the original GPDK convention.
+inline constexpr std::string_view kSessionCookie = "MYPROXYSESSID";
+
+}  // namespace myproxy::portal

@@ -1,0 +1,110 @@
+// The MyProxy client-server wire protocol.
+//
+// Faithful in structure to the original prototype protocol the paper
+// describes (§6.4 notes it "was quickly designed as a prototype"): newline-
+// separated KEY=VALUE text messages exchanged over a mutually-authenticated
+// channel, followed by raw CSR / certificate-chain messages for the
+// delegation sub-protocol.
+//
+// Message flows (C = client, S = server; every flow starts with C's request
+// and ends with S's response or an intermediate OK):
+//   PUT (Figure 1, myproxy-init):
+//     C: request{PUT,...}   S: ok   S: CSR   C: chain   S: response
+//   GET (Figure 2, myproxy-get-delegation):
+//     C: request{GET,...}   S: ok   C: CSR   S: chain
+//   DESTROY / CHANGE_PASSPHRASE / INFO / LIST / STORE / RETRIEVE / RENEW:
+//     simple request/response (STORE carries one extra credential-blob
+//     message; RETRIEVE returns one; RENEW runs the GET delegation steps).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace myproxy::protocol {
+
+inline constexpr std::string_view kProtocolVersion = "MYPROXYv2";
+
+enum class Command {
+  kGet = 0,               ///< retrieve a delegated proxy (Figure 2)
+  kPut = 1,               ///< delegate a proxy to the repository (Figure 1)
+  kInfo = 2,              ///< query stored-credential metadata
+  kDestroy = 3,           ///< remove stored credentials (myproxy-destroy)
+  kChangePassphrase = 4,  ///< rotate the retrieval pass phrase
+  kStore = 5,             ///< store a long-term credential (§6.1)
+  kRetrieve = 6,          ///< retrieve a stored long-term credential (§6.1)
+  kList = 7,              ///< list wallet credentials (§6.2)
+  kRenew = 8,             ///< refresh a job's proxy (§6.6, Condor-G support)
+};
+
+[[nodiscard]] std::string_view to_string(Command command) noexcept;
+
+enum class AuthMode {
+  kPassphrase,  ///< persistent pass phrase (the paper's baseline)
+  kOtp,         ///< one-time password (§6.3, replay-attack fix)
+};
+
+[[nodiscard]] std::string_view to_string(AuthMode mode) noexcept;
+
+struct Request {
+  Command command = Command::kGet;
+  std::string username;
+  /// Pass phrase or OTP word, by auth_mode. (Held as std::string because it
+  /// is serialized into the wire message; the channel is encrypted.)
+  std::string passphrase;
+  AuthMode auth_mode = AuthMode::kPassphrase;
+  /// GET/RENEW: requested proxy lifetime. PUT: maximum lifetime the
+  /// repository may delegate on the user's behalf (§4.1 retrieval
+  /// restriction). 0 = server default.
+  Seconds lifetime{0};
+  /// Wallet slot name; empty selects the default credential (§6.2).
+  std::string credential_name;
+  /// CHANGE_PASSPHRASE: the replacement pass phrase.
+  std::string new_passphrase;
+  /// PUT/STORE: per-credential retriever/renewer DN patterns that narrow
+  /// the server-wide ACLs (paper §4.1 "retrieval restrictions").
+  std::vector<std::string> retriever_patterns;
+  std::vector<std::string> renewer_patterns;
+  /// GET: ask for a limited proxy; PUT: mark the stored credential so that
+  /// every delegation from it is limited.
+  bool want_limited = false;
+  /// PUT/STORE: restriction policy text to embed in every proxy delegated
+  /// from this credential (§6.5), e.g. "rights=file-read".
+  std::optional<std::string> restriction;
+  /// LIST/wallet: task tag used for credential selection (§6.2), matched
+  /// against stored credentials' task tags.
+  std::string task;
+
+  [[nodiscard]] std::string serialize() const;
+  static Request parse(std::string_view text);
+};
+
+struct Response {
+  enum class Status { kOk, kError };
+
+  Status status = Status::kOk;
+  std::string error;  // populated when status == kError
+  /// Auxiliary payload (INFO metadata, LIST entries, server banners).
+  /// Multi-valued keys join with '\x1f' on parse.
+  std::map<std::string, std::string> fields;
+
+  [[nodiscard]] bool ok() const noexcept { return status == Status::kOk; }
+
+  [[nodiscard]] std::string serialize() const;
+  static Response parse(std::string_view text);
+
+  static Response make_ok() { return {}; }
+  static Response make_error(std::string message) {
+    Response r;
+    r.status = Status::kError;
+    r.error = std::move(message);
+    return r;
+  }
+};
+
+}  // namespace myproxy::protocol

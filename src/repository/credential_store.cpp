@@ -1,0 +1,351 @@
+#include "repository/credential_store.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/encoding.hpp"
+#include "common/error.hpp"
+#include "common/format.hpp"
+#include "common/strings.hpp"
+
+namespace myproxy::repository {
+
+namespace {
+
+void append_line(std::string& out, std::string_view key,
+                 std::string_view value) {
+  if (value.find('\n') != std::string_view::npos) {
+    throw ParseError(fmt::format("record field '{}' contains newline", key));
+  }
+  out += key;
+  out += ' ';
+  out += value;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string_view to_string(Sealing sealing) noexcept {
+  switch (sealing) {
+    case Sealing::kPassphrase:
+      return "passphrase";
+    case Sealing::kMasterKey:
+      return "master-key";
+    case Sealing::kPlain:
+      return "plain";
+  }
+  return "?";
+}
+
+Sealing sealing_from_string(std::string_view text) {
+  if (text == "passphrase") return Sealing::kPassphrase;
+  if (text == "master-key") return Sealing::kMasterKey;
+  if (text == "plain") return Sealing::kPlain;
+  throw ParseError(fmt::format("unknown sealing mode '{}'", text));
+}
+
+std::string CredentialRecord::serialize() const {
+  std::string out = "myproxy-record-v1\n";
+  append_line(out, "username", encoding::base64_encode(username));
+  append_line(out, "name", encoding::base64_encode(name));
+  append_line(out, "owner_dn", owner_dn);
+  append_line(out, "sealing", to_string(sealing));
+  if (passphrase_digest.has_value()) {
+    append_line(out, "passphrase_digest", *passphrase_digest);
+  }
+  append_line(out, "created_at", std::to_string(to_unix(created_at)));
+  append_line(out, "not_after", std::to_string(to_unix(not_after)));
+  append_line(out, "max_delegation_lifetime",
+              std::to_string(max_delegation_lifetime.count()));
+  for (const auto& pattern : retriever_patterns) {
+    append_line(out, "retriever", pattern);
+  }
+  for (const auto& pattern : renewer_patterns) {
+    append_line(out, "renewer", pattern);
+  }
+  if (always_limited) append_line(out, "always_limited", "1");
+  if (restriction.has_value()) append_line(out, "restriction", *restriction);
+  if (!task_tags.empty()) append_line(out, "task_tags", task_tags);
+  if (otp.has_value()) {
+    append_line(out, "otp_current", otp->current_hex);
+    append_line(out, "otp_remaining", std::to_string(otp->remaining));
+  }
+  append_line(out, "blob", encoding::base64_encode(blob));
+  return out;
+}
+
+CredentialRecord CredentialRecord::parse(std::string_view text) {
+  const auto lines = strings::split(text, '\n');
+  if (lines.empty() || strings::trim(lines[0]) != "myproxy-record-v1") {
+    throw ParseError("credential record missing version header");
+  }
+  CredentialRecord record;
+  std::optional<std::string> otp_current;
+  std::optional<std::uint32_t> otp_remaining;
+  bool have_blob = false;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    // Do not trim the whole line: a field value may legitimately be empty
+    // (e.g. the default wallet slot's base64-encoded "" name).
+    std::string_view line = lines[i];
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (strings::trim(line).empty()) continue;
+    const std::size_t space = line.find(' ');
+    const std::string_view key =
+        space == std::string_view::npos ? line : line.substr(0, space);
+    const std::string_view value =
+        space == std::string_view::npos ? std::string_view{}
+                                        : line.substr(space + 1);
+    if (key == "username") {
+      record.username = encoding::base64_decode_string(value);
+    } else if (key == "name") {
+      record.name = encoding::base64_decode_string(value);
+    } else if (key == "owner_dn") {
+      record.owner_dn = value;
+    } else if (key == "sealing") {
+      record.sealing = sealing_from_string(value);
+    } else if (key == "passphrase_digest") {
+      record.passphrase_digest = std::string(value);
+    } else if (key == "created_at") {
+      record.created_at = from_unix(std::stoll(std::string(value)));
+    } else if (key == "not_after") {
+      record.not_after = from_unix(std::stoll(std::string(value)));
+    } else if (key == "max_delegation_lifetime") {
+      record.max_delegation_lifetime = Seconds(std::stoll(std::string(value)));
+    } else if (key == "retriever") {
+      record.retriever_patterns.emplace_back(value);
+    } else if (key == "renewer") {
+      record.renewer_patterns.emplace_back(value);
+    } else if (key == "always_limited") {
+      record.always_limited = (value == "1");
+    } else if (key == "restriction") {
+      record.restriction = std::string(value);
+    } else if (key == "task_tags") {
+      record.task_tags = value;
+    } else if (key == "otp_current") {
+      otp_current = std::string(value);
+    } else if (key == "otp_remaining") {
+      otp_remaining = static_cast<std::uint32_t>(std::stoul(std::string(value)));
+    } else if (key == "blob") {
+      record.blob = encoding::base64_decode(value);
+      have_blob = true;
+    } else {
+      throw ParseError(fmt::format("unknown record field '{}'", key));
+    }
+  }
+  if (!have_blob) throw ParseError("credential record missing blob");
+  if (otp_current.has_value() != otp_remaining.has_value()) {
+    throw ParseError("credential record has partial OTP state");
+  }
+  if (otp_current.has_value()) {
+    record.otp = OtpState{*otp_current, *otp_remaining};
+  }
+  return record;
+}
+
+// --- MemoryCredentialStore --------------------------------------------------
+
+void MemoryCredentialStore::put(const CredentialRecord& record) {
+  const std::scoped_lock lock(mutex_);
+  records_[record.key()] = record;
+}
+
+std::optional<CredentialRecord> MemoryCredentialStore::get(
+    std::string_view username, std::string_view name) const {
+  const std::scoped_lock lock(mutex_);
+  const std::string key =
+      std::string(username) + "\x1e" + std::string(name);
+  const auto it = records_.find(key);
+  if (it == records_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool MemoryCredentialStore::remove(std::string_view username,
+                                   std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  const std::string key =
+      std::string(username) + "\x1e" + std::string(name);
+  return records_.erase(key) != 0;
+}
+
+std::size_t MemoryCredentialStore::remove_all(std::string_view username) {
+  const std::scoped_lock lock(mutex_);
+  std::size_t removed = 0;
+  for (auto it = records_.begin(); it != records_.end();) {
+    if (it->second.username == username) {
+      it = records_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::vector<CredentialRecord> MemoryCredentialStore::list(
+    std::string_view username) const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<CredentialRecord> out;
+  for (const auto& [key, record] : records_) {
+    if (record.username == username) out.push_back(record);
+  }
+  return out;
+}
+
+std::size_t MemoryCredentialStore::size() const {
+  const std::scoped_lock lock(mutex_);
+  return records_.size();
+}
+
+std::size_t MemoryCredentialStore::sweep_expired() {
+  const std::scoped_lock lock(mutex_);
+  std::size_t swept = 0;
+  for (auto it = records_.begin(); it != records_.end();) {
+    if (it->second.expired()) {
+      it = records_.erase(it);
+      ++swept;
+    } else {
+      ++it;
+    }
+  }
+  return swept;
+}
+
+// --- FileCredentialStore ----------------------------------------------------
+
+FileCredentialStore::FileCredentialStore(std::filesystem::path directory)
+    : directory_(std::move(directory)) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory_, ec);
+  if (ec) {
+    throw IoError(fmt::format("cannot create storage directory {}: {}",
+                              directory_.string(), ec.message()));
+  }
+  // Restrict to the owner, as the original server does for its repository
+  // directory.
+  std::filesystem::permissions(directory_,
+                               std::filesystem::perms::owner_all,
+                               std::filesystem::perm_options::replace, ec);
+}
+
+std::filesystem::path FileCredentialStore::record_path(
+    std::string_view username, std::string_view name) const {
+  // Hex-encode to keep arbitrary usernames file-system safe.
+  const std::string base = fmt::format(
+      "{}-{}.cred",
+      encoding::hex_encode(encoding::to_bytes(username)),
+      encoding::hex_encode(encoding::to_bytes(name)));
+  return directory_ / base;
+}
+
+void FileCredentialStore::put(const CredentialRecord& record) {
+  const std::scoped_lock lock(mutex_);
+  const auto path = record_path(record.username, record.name);
+  const auto tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw IoError(fmt::format("cannot write {}", tmp));
+    out << record.serialize();
+    if (!out.flush()) throw IoError(fmt::format("flush failed for {}", tmp));
+  }
+  std::error_code ec;
+  std::filesystem::permissions(
+      tmp,
+      std::filesystem::perms::owner_read | std::filesystem::perms::owner_write,
+      std::filesystem::perm_options::replace, ec);
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw IoError(fmt::format("cannot commit record {}: {}", path.string(),
+                              ec.message()));
+  }
+}
+
+std::optional<CredentialRecord> FileCredentialStore::get(
+    std::string_view username, std::string_view name) const {
+  const std::scoped_lock lock(mutex_);
+  const auto path = record_path(username, name);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return CredentialRecord::parse(text.str());
+}
+
+bool FileCredentialStore::remove(std::string_view username,
+                                 std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  std::error_code ec;
+  return std::filesystem::remove(record_path(username, name), ec) && !ec;
+}
+
+std::size_t FileCredentialStore::remove_all(std::string_view username) {
+  const std::scoped_lock lock(mutex_);
+  const std::string prefix =
+      encoding::hex_encode(encoding::to_bytes(username)) + "-";
+  std::size_t removed = 0;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(directory_, ec)) {
+    if (entry.path().filename().string().starts_with(prefix)) {
+      if (std::filesystem::remove(entry.path(), ec) && !ec) ++removed;
+    }
+  }
+  return removed;
+}
+
+std::vector<CredentialRecord> FileCredentialStore::list(
+    std::string_view username) const {
+  const std::scoped_lock lock(mutex_);
+  const std::string prefix =
+      encoding::hex_encode(encoding::to_bytes(username)) + "-";
+  std::vector<CredentialRecord> out;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(directory_, ec)) {
+    if (!entry.path().filename().string().starts_with(prefix)) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    if (!in) continue;
+    std::ostringstream text;
+    text << in.rdbuf();
+    out.push_back(CredentialRecord::parse(text.str()));
+  }
+  return out;
+}
+
+std::size_t FileCredentialStore::size() const {
+  const std::scoped_lock lock(mutex_);
+  std::size_t count = 0;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(directory_, ec)) {
+    if (entry.path().extension() == ".cred") ++count;
+  }
+  return count;
+}
+
+std::size_t FileCredentialStore::sweep_expired() {
+  const std::scoped_lock lock(mutex_);
+  std::size_t swept = 0;
+  std::error_code ec;
+  std::vector<std::filesystem::path> doomed;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(directory_, ec)) {
+    if (entry.path().extension() != ".cred") continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    if (!in) continue;
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+      if (CredentialRecord::parse(text.str()).expired()) {
+        doomed.push_back(entry.path());
+      }
+    } catch (const Error&) {
+      // Unreadable record: leave it for operator inspection.
+    }
+  }
+  for (const auto& path : doomed) {
+    if (std::filesystem::remove(path, ec) && !ec) ++swept;
+  }
+  return swept;
+}
+
+}  // namespace myproxy::repository

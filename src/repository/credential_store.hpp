@@ -1,0 +1,167 @@
+// Storage backends for the credential repository.
+//
+// A record is one delegated (or long-term, §6.1) credential held on the
+// user's behalf, together with the metadata the paper attaches to it:
+// owner identity, retrieval restrictions (max delegated lifetime,
+// per-credential retriever/renewer ACLs), and the authentication state
+// (the at-rest encryption envelope doubles as the pass-phrase check, §5.1;
+// OTP chains for §6.3).
+//
+// Backends: MemoryCredentialStore (tests, benchmarks) and
+// FileCredentialStore (one file per record under a storage directory —
+// the production layout of the original myproxy-server).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "repository/otp.hpp"
+
+namespace myproxy::repository {
+
+/// How a record's credential bytes are protected at rest.
+enum class Sealing {
+  /// Pass-phrase envelope (PBKDF2 + AES-GCM); decryption success *is* the
+  /// pass-phrase check (§5.1). The default.
+  kPassphrase,
+  /// Sealed under the repository master key; authentication happens via a
+  /// pass-phrase digest, an OTP chain, or the renewer ACL. Used for
+  /// OTP-armed (§6.3) and renewable (§6.6) credentials, whose retrieval
+  /// secret rotates or is absent.
+  kMasterKey,
+  /// Plaintext (the encryption-at-rest ablation only; authentication via
+  /// pass-phrase digest).
+  kPlain,
+};
+
+[[nodiscard]] std::string_view to_string(Sealing sealing) noexcept;
+[[nodiscard]] Sealing sealing_from_string(std::string_view text);
+
+struct CredentialRecord {
+  std::string username;  ///< repository account name (user-chosen, §4.1)
+  std::string name;      ///< wallet slot; empty = the default credential
+
+  std::string owner_dn;  ///< Grid DN that stored the credential
+
+  /// Credential PEM bytes, protected per `sealing`.
+  std::vector<std::uint8_t> blob;
+  Sealing sealing = Sealing::kPassphrase;
+
+  /// hex(SHA-256(aad:pass phrase)) for kMasterKey / kPlain records that
+  /// still authenticate retrievals by pass phrase.
+  std::optional<std::string> passphrase_digest;
+
+  TimePoint created_at{};
+  TimePoint not_after{};  ///< stored credential's own expiry
+
+  /// §4.1 retrieval restriction: longest proxy the repository may delegate
+  /// from this credential.
+  Seconds max_delegation_lifetime{kDefaultDelegatedLifetime};
+
+  /// Per-credential DN patterns narrowing the server-wide retriever /
+  /// renewer ACLs; empty = inherit the server ACL unchanged.
+  std::vector<std::string> retriever_patterns;
+  std::vector<std::string> renewer_patterns;
+
+  /// Every proxy delegated from this credential is a limited proxy.
+  bool always_limited = false;
+
+  /// Restriction policy ("rights=...") embedded into every delegation
+  /// from this credential (§6.5).
+  std::optional<std::string> restriction;
+
+  /// Comma-separated task tags for wallet selection (§6.2).
+  std::string task_tags;
+
+  /// OTP state when auth_mode is OTP (§6.3).
+  std::optional<OtpState> otp;
+
+  /// Unique key of this record within a store.
+  [[nodiscard]] std::string key() const { return username + "\x1e" + name; }
+
+  [[nodiscard]] bool expired() const { return now() > not_after; }
+
+  /// Text serialization used by FileCredentialStore.
+  [[nodiscard]] std::string serialize() const;
+  static CredentialRecord parse(std::string_view text);
+};
+
+class CredentialStore {
+ public:
+  virtual ~CredentialStore() = default;
+
+  /// Insert or replace the record with the same (username, name).
+  virtual void put(const CredentialRecord& record) = 0;
+
+  [[nodiscard]] virtual std::optional<CredentialRecord> get(
+      std::string_view username, std::string_view name) const = 0;
+
+  /// Remove one record; returns false if it did not exist.
+  virtual bool remove(std::string_view username, std::string_view name) = 0;
+
+  /// Remove all of a user's records; returns how many were removed.
+  virtual std::size_t remove_all(std::string_view username) = 0;
+
+  /// All records for `username` (the user's wallet, §6.2).
+  [[nodiscard]] virtual std::vector<CredentialRecord> list(
+      std::string_view username) const = 0;
+
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  /// Delete expired records; returns how many were swept.
+  virtual std::size_t sweep_expired() = 0;
+};
+
+class MemoryCredentialStore final : public CredentialStore {
+ public:
+  void put(const CredentialRecord& record) override;
+  [[nodiscard]] std::optional<CredentialRecord> get(
+      std::string_view username, std::string_view name) const override;
+  bool remove(std::string_view username, std::string_view name) override;
+  std::size_t remove_all(std::string_view username) override;
+  [[nodiscard]] std::vector<CredentialRecord> list(
+      std::string_view username) const override;
+  [[nodiscard]] std::size_t size() const override;
+  std::size_t sweep_expired() override;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, CredentialRecord, std::less<>> records_;
+};
+
+/// One file per record: <dir>/<hex(username)>-<hex(name)>.cred, written via
+/// a temp file + rename so a crash never leaves a torn record.
+class FileCredentialStore final : public CredentialStore {
+ public:
+  explicit FileCredentialStore(std::filesystem::path directory);
+
+  void put(const CredentialRecord& record) override;
+  [[nodiscard]] std::optional<CredentialRecord> get(
+      std::string_view username, std::string_view name) const override;
+  bool remove(std::string_view username, std::string_view name) override;
+  std::size_t remove_all(std::string_view username) override;
+  [[nodiscard]] std::vector<CredentialRecord> list(
+      std::string_view username) const override;
+  [[nodiscard]] std::size_t size() const override;
+  std::size_t sweep_expired() override;
+
+  [[nodiscard]] const std::filesystem::path& directory() const {
+    return directory_;
+  }
+
+ private:
+  [[nodiscard]] std::filesystem::path record_path(
+      std::string_view username, std::string_view name) const;
+
+  std::filesystem::path directory_;
+  mutable std::mutex mutex_;
+};
+
+}  // namespace myproxy::repository

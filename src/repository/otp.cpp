@@ -1,0 +1,41 @@
+#include "repository/otp.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "crypto/digest.hpp"
+
+namespace myproxy::repository {
+
+std::string otp_hash(std::string_view input) {
+  return crypto::digest_hex(crypto::HashAlgorithm::kSha256, input);
+}
+
+OtpState otp_initialize(std::string_view secret, std::uint32_t count) {
+  if (count == 0) {
+    throw PolicyError("OTP chain must contain at least one word");
+  }
+  OtpState state;
+  state.remaining = count;
+  state.current_hex = otp_word(secret, count);
+  return state;
+}
+
+std::string otp_word(std::string_view secret, std::uint32_t index) {
+  std::string word(secret);
+  for (std::uint32_t i = 0; i < index; ++i) word = otp_hash(word);
+  return word;
+}
+
+bool otp_verify_and_advance(OtpState& state, std::string_view word) {
+  if (state.exhausted()) return false;
+  // Constant-time compare: OTP words are low-value once used, but the
+  // comparison is on the authentication path all the same.
+  if (!strings::constant_time_equals(otp_hash(word), state.current_hex)) {
+    return false;
+  }
+  state.current_hex = std::string(word);
+  --state.remaining;
+  return true;
+}
+
+}  // namespace myproxy::repository

@@ -1,0 +1,44 @@
+// One-time-password authentication (paper §5.1/§6.3, citing RFC 2289).
+//
+// S/KEY-style hash chain over SHA-256: from a client-held secret S, the
+// word sequence is w_i = H^i(S) (hex-encoded). The server stores only
+// w_N and a counter; the client authenticates with w_{N-1}, which the
+// server validates by checking H(w_{N-1}) == stored, then *advances* to
+// w_{N-1}. A captured word is useless for replay — the property the paper
+// wants in order to drop the HTTPS/pass-phrase replay caveats.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace myproxy::repository {
+
+/// Server-side OTP state for one stored credential.
+struct OtpState {
+  std::string current_hex;  ///< w_remaining, lower-case hex of SHA-256
+  std::uint32_t remaining = 0;  ///< index of current_hex in the chain
+
+  [[nodiscard]] bool exhausted() const noexcept { return remaining == 0; }
+};
+
+/// One hash-chain step: hex(SHA-256(input)).
+[[nodiscard]] std::string otp_hash(std::string_view input);
+
+/// Initialize a chain of `count` words from `secret`; the server stores the
+/// result, the client keeps `secret` and `count`. Throws PolicyError when
+/// count == 0.
+[[nodiscard]] OtpState otp_initialize(std::string_view secret,
+                                      std::uint32_t count);
+
+/// Client side: the i-th word, w_i = H^i(secret). The next valid word for a
+/// server at `remaining == n` is otp_word(secret, n - 1).
+[[nodiscard]] std::string otp_word(std::string_view secret,
+                                   std::uint32_t index);
+
+/// Server side: verify `word` against `state` and advance the chain on
+/// success. Returns false (state unchanged) on mismatch or exhaustion.
+[[nodiscard]] bool otp_verify_and_advance(OtpState& state,
+                                          std::string_view word);
+
+}  // namespace myproxy::repository

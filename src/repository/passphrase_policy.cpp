@@ -1,0 +1,50 @@
+#include "repository/passphrase_policy.hpp"
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+#include "common/strings.hpp"
+
+namespace myproxy::repository {
+
+PassphrasePolicy::PassphrasePolicy() {
+  // A deliberately small built-in dictionary of the classic offenders; site
+  // operators extend it via add_dictionary_word / server config.
+  for (const char* word :
+       {"password", "passphrase", "myproxy", "secret", "qwerty", "letmein",
+        "123456", "12345678", "changeme", "grid", "globus"}) {
+    dictionary_.insert(word);
+  }
+}
+
+void PassphrasePolicy::add_dictionary_word(std::string word) {
+  dictionary_.insert(strings::to_lower(word));
+}
+
+void PassphrasePolicy::check(std::string_view username,
+                             std::string_view pass_phrase) const {
+  if (pass_phrase.size() < min_length_) {
+    throw PolicyError(fmt::format(
+        "pass phrase must be at least {} characters", min_length_));
+  }
+  const std::string lowered = strings::to_lower(pass_phrase);
+  if (dictionary_.find(lowered) != dictionary_.end()) {
+    throw PolicyError("pass phrase is a common dictionary word");
+  }
+  if (!username.empty() &&
+      lowered.find(strings::to_lower(username)) != std::string::npos) {
+    throw PolicyError("pass phrase must not contain the user name");
+  }
+  // All characters identical ("aaaaaa") defeats the length requirement.
+  bool all_same = true;
+  for (const char c : pass_phrase) {
+    if (c != pass_phrase.front()) {
+      all_same = false;
+      break;
+    }
+  }
+  if (all_same) {
+    throw PolicyError("pass phrase is a single repeated character");
+  }
+}
+
+}  // namespace myproxy::repository

@@ -1,0 +1,33 @@
+// Pass-phrase acceptance policy (paper §4.1: the pass phrase "can be tested
+// by the repository to make sure they meet any local policy (e.g. the pass
+// phrase must be a certain length, survive dictionary checks, etc.)").
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <string_view>
+
+namespace myproxy::repository {
+
+class PassphrasePolicy {
+ public:
+  PassphrasePolicy();
+
+  /// Minimum length; the original MyProxy required 6 characters.
+  void set_min_length(std::size_t n) { min_length_ = n; }
+  [[nodiscard]] std::size_t min_length() const { return min_length_; }
+
+  /// Extend the rejected-words dictionary.
+  void add_dictionary_word(std::string word);
+
+  /// Throws PolicyError with a user-readable reason if `pass_phrase` is
+  /// unacceptable for `username`.
+  void check(std::string_view username, std::string_view pass_phrase) const;
+
+ private:
+  std::size_t min_length_ = 6;
+  std::set<std::string, std::less<>> dictionary_;
+};
+
+}  // namespace myproxy::repository

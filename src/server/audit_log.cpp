@@ -1,0 +1,70 @@
+#include "server/audit_log.hpp"
+
+#include "common/format.hpp"
+
+namespace myproxy::server {
+
+std::string_view to_string(AuditOutcome outcome) noexcept {
+  switch (outcome) {
+    case AuditOutcome::kSuccess:
+      return "success";
+    case AuditOutcome::kAuthenticationFailure:
+      return "authentication-failure";
+    case AuditOutcome::kAuthorizationFailure:
+      return "authorization-failure";
+    case AuditOutcome::kNotFound:
+      return "not-found";
+    case AuditOutcome::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string AuditEvent::str() const {
+  return fmt::format("{} {} peer={} user={} outcome={} detail={}",
+                     format_utc(at), command,
+                     peer_dn.empty() ? "(unauthenticated)" : peer_dn,
+                     username.empty() ? "-" : username, to_string(outcome),
+                     detail.empty() ? "-" : detail);
+}
+
+void AuditLog::record(AuditEvent event) {
+  const std::scoped_lock lock(mutex_);
+  ring_.push_back(std::move(event));
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::vector<AuditEvent> AuditLog::events() const {
+  const std::scoped_lock lock(mutex_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::vector<AuditEvent> AuditLog::events_with(AuditOutcome outcome) const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<AuditEvent> out;
+  for (const auto& event : ring_) {
+    if (event.outcome == outcome) out.push_back(event);
+  }
+  return out;
+}
+
+std::size_t AuditLog::failures_for(std::string_view username,
+                                   TimePoint since) const {
+  const std::scoped_lock lock(mutex_);
+  std::size_t count = 0;
+  for (const auto& event : ring_) {
+    if (event.at >= since && event.username == username &&
+        (event.outcome == AuditOutcome::kAuthenticationFailure ||
+         event.outcome == AuditOutcome::kAuthorizationFailure)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::size_t AuditLog::size() const {
+  const std::scoped_lock lock(mutex_);
+  return ring_.size();
+}
+
+}  // namespace myproxy::server

@@ -1,0 +1,512 @@
+#include "server/myproxy_server.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+#include "common/logging.hpp"
+#include "gsi/proxy.hpp"
+
+namespace myproxy::server {
+
+namespace {
+
+constexpr std::string_view kLogComponent = "server";
+
+using protocol::Command;
+using protocol::Request;
+using protocol::Response;
+
+/// Map an internal failure to the error text put on the wire. Auth errors
+/// are deliberately vague to the client; the specifics go to the audit log.
+Response error_response(const Error& error) {
+  switch (error.code()) {
+    case ErrorCode::kAuthentication:
+      return Response::make_error("authentication failed");
+    case ErrorCode::kAuthorization:
+      return Response::make_error("not authorized");
+    case ErrorCode::kNotFound:
+      return Response::make_error("no credentials found");
+    case ErrorCode::kExpired:
+      return Response::make_error("credential expired");
+    case ErrorCode::kPolicy:
+      return Response::make_error(error.what());
+    default:
+      return Response::make_error("request failed");
+  }
+}
+
+}  // namespace
+
+MyProxyServer::MyProxyServer(
+    gsi::Credential host_credential, pki::TrustStore trust_store,
+    std::shared_ptr<repository::Repository> repository, ServerConfig config)
+    : host_credential_(std::move(host_credential)),
+      trust_store_(std::move(trust_store)),
+      repository_(std::move(repository)),
+      config_(std::move(config)),
+      tls_context_(tls::TlsContext::make(host_credential_)) {
+  if (repository_ == nullptr) {
+    throw Error(ErrorCode::kInternal, "server requires a repository");
+  }
+}
+
+MyProxyServer::~MyProxyServer() { stop(); }
+
+void MyProxyServer::start() {
+  listener_.emplace(net::TcpListener::bind(config_.port));
+  port_ = listener_->port();
+  pool_ = std::make_unique<ThreadPool>(config_.worker_threads,
+                                       /*max_queue=*/256);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  if (config_.sweep_interval > Seconds(0)) {
+    sweep_thread_ = std::thread([this] {
+      std::unique_lock lock(stop_mutex_);
+      while (!stop_cv_.wait_for(lock, config_.sweep_interval,
+                                [this] { return stopping_.load(); })) {
+        const std::size_t swept = repository_->sweep_expired();
+        if (swept > 0) {
+          log::info(kLogComponent, "expiry sweep removed {} record(s)",
+                    swept);
+        }
+      }
+    });
+  }
+  log::info(kLogComponent, "myproxy-server listening on port {} as '{}'",
+            port_, host_credential_.identity().str());
+}
+
+void MyProxyServer::stop() {
+  if (stopping_.exchange(true)) return;
+  stop_cv_.notify_all();
+  if (listener_.has_value()) listener_->close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (sweep_thread_.joinable()) sweep_thread_.join();
+  pool_.reset();  // drains and joins workers
+  log::info(kLogComponent, "myproxy-server stopped");
+}
+
+void MyProxyServer::accept_loop() {
+  while (!stopping_.load()) {
+    net::Socket socket;
+    try {
+      socket = listener_->accept();
+    } catch (const IoError&) {
+      // Listener closed during shutdown.
+      break;
+    }
+    auto shared = std::make_shared<net::Socket>(std::move(socket));
+    pool_->submit([this, shared]() mutable {
+      handle_connection(std::move(*shared));
+    });
+  }
+}
+
+void MyProxyServer::handle_connection(net::Socket socket) {
+  stats_.connections.fetch_add(1, std::memory_order_relaxed);
+  try {
+    auto channel = tls::TlsChannel::accept(tls_context_, std::move(socket));
+    // Mutual authentication: verify the client's chain under GSI rules.
+    pki::VerifiedIdentity peer;
+    try {
+      peer = trust_store_.verify(channel->peer_chain(),
+                                 config_.verify_options);
+    } catch (const Error& e) {
+      stats_.auth_failures.fetch_add(1, std::memory_order_relaxed);
+      log::warn(kLogComponent, "client authentication failed: {}", e.what());
+      audit_.record({now(), "CONNECT", "", "",
+                     AuditOutcome::kAuthenticationFailure, e.what()});
+      channel->send(Response::make_error("authentication failed")
+                        .serialize());
+      return;
+    }
+    serve_channel(*channel, peer);
+  } catch (const std::exception& e) {
+    stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    log::warn(kLogComponent, "connection aborted: {}", e.what());
+  }
+}
+
+void MyProxyServer::serve_channel(net::Channel& channel,
+                                  const pki::VerifiedIdentity& peer) {
+  Request request;
+  try {
+    request = Request::parse(channel.receive());
+  } catch (const Error& e) {
+    stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    log::warn(kLogComponent, "bad request from '{}': {}",
+              peer.identity.str(), e.what());
+    channel.send(Response::make_error("malformed request").serialize());
+    return;
+  }
+
+  log::info(kLogComponent, "{} user='{}' from '{}' (proxy depth {})",
+            to_string(request.command), request.username,
+            peer.identity.str(), peer.proxy_depth);
+  AuditEvent audit_event{now(), std::string(to_string(request.command)),
+                         peer.identity.str(), request.username,
+                         AuditOutcome::kSuccess, ""};
+  try {
+    switch (request.command) {
+      case Command::kPut:
+        handle_put(channel, request, peer);
+        break;
+      case Command::kGet:
+        handle_get(channel, request, peer);
+        break;
+      case Command::kRenew:
+        handle_renew(channel, request, peer);
+        break;
+      case Command::kInfo:
+        handle_info(channel, request, peer);
+        break;
+      case Command::kList:
+        handle_list(channel, request, peer);
+        break;
+      case Command::kDestroy:
+        handle_destroy(channel, request, peer);
+        break;
+      case Command::kChangePassphrase:
+        handle_change_passphrase(channel, request, peer);
+        break;
+      case Command::kStore:
+        handle_store(channel, request, peer);
+        break;
+      case Command::kRetrieve:
+        handle_retrieve(channel, request, peer);
+        break;
+    }
+    audit_.record(std::move(audit_event));
+  } catch (const Error& e) {
+    if (e.code() == ErrorCode::kAuthentication) {
+      stats_.auth_failures.fetch_add(1, std::memory_order_relaxed);
+      audit_event.outcome = AuditOutcome::kAuthenticationFailure;
+    } else if (e.code() == ErrorCode::kAuthorization) {
+      stats_.authz_failures.fetch_add(1, std::memory_order_relaxed);
+      audit_event.outcome = AuditOutcome::kAuthorizationFailure;
+    } else if (e.code() == ErrorCode::kNotFound) {
+      audit_event.outcome = AuditOutcome::kNotFound;
+    } else {
+      audit_event.outcome = AuditOutcome::kError;
+    }
+    audit_event.detail = e.what();
+    audit_.record(std::move(audit_event));
+    log::warn(kLogComponent, "{} for user '{}' failed: {}",
+              to_string(request.command), request.username, e.what());
+    channel.send(error_response(e).serialize());
+  }
+}
+
+bool MyProxyServer::retriever_allowed(
+    const repository::CredentialRecord& record,
+    const pki::VerifiedIdentity& peer) const {
+  // Server-wide ACL first (§5.1), then the per-credential narrowing the
+  // user attached at store time (§4.1 retrieval restrictions).
+  if (!config_.authorized_retrievers.allows(peer.identity)) return false;
+  if (record.retriever_patterns.empty()) return true;
+  const gsi::AccessControlList per_credential(record.retriever_patterns);
+  return per_credential.allows(peer.identity);
+}
+
+// --- PUT (Figure 1) ---------------------------------------------------------
+
+void MyProxyServer::handle_put(net::Channel& channel, const Request& request,
+                               const pki::VerifiedIdentity& peer) {
+  if (!config_.accepted_credentials.allows(peer.identity)) {
+    throw AuthorizationError(fmt::format(
+        "'{}' is not in accepted_credentials", peer.identity.str()));
+  }
+  if (request.username.empty()) {
+    throw PolicyError("username must not be empty");
+  }
+  // The server runs the *receiver* side of delegation: fresh key, CSR out,
+  // signed chain back (the client's private key never travels — and
+  // neither does the user's long-term key; we receive only a proxy).
+  gsi::DelegationRequest delegation = gsi::begin_delegation();
+  channel.send(Response::make_ok().serialize());
+  channel.send(delegation.csr_pem);
+
+  const std::string chain_pem = channel.receive();
+  gsi::Credential delegated =
+      gsi::complete_delegation(std::move(delegation.key), chain_pem);
+
+  // The stored credential must verify under our trust roots and must belong
+  // to the connection's authenticated identity — a client cannot park
+  // someone else's (stolen) proxy under its own account unnoticed.
+  const pki::VerifiedIdentity stored_identity =
+      trust_store_.verify(delegated.full_chain(), config_.verify_options);
+  if (!(stored_identity.identity == peer.identity)) {
+    throw AuthorizationError(fmt::format(
+        "delegated identity '{}' does not match connection identity '{}'",
+        stored_identity.identity.str(), peer.identity.str()));
+  }
+
+  repository::StoreOptions options;
+  options.name = request.credential_name;
+  options.max_delegation_lifetime = request.lifetime;
+  options.retriever_patterns = request.retriever_patterns;
+  options.renewer_patterns = request.renewer_patterns;
+  options.always_limited = request.want_limited;
+  options.restriction = request.restriction;
+  options.task_tags = request.task;
+  if (request.auth_mode == protocol::AuthMode::kOtp) {
+    // PASSPHRASE carries the OTP seed; LIFETIME the chain length would be
+    // overloading, so a fixed generous chain is armed.
+    options.otp_words = 1000;
+  }
+  repository_->store(request.username, request.passphrase,
+                     peer.identity.str(), delegated, options);
+  stats_.puts.fetch_add(1, std::memory_order_relaxed);
+  channel.send(Response::make_ok().serialize());
+}
+
+// --- GET (Figure 2) ---------------------------------------------------------
+
+void MyProxyServer::handle_get(net::Channel& channel, const Request& request,
+                               const pki::VerifiedIdentity& peer) {
+  const auto record =
+      repository_->record(request.username, request.credential_name);
+  if (!record.has_value()) {
+    throw NotFoundError(fmt::format("no credentials stored for '{}'",
+                                    request.username));
+  }
+  if (!retriever_allowed(*record, peer)) {
+    throw AuthorizationError(fmt::format(
+        "'{}' is not an authorized retriever", peer.identity.str()));
+  }
+  // Authenticate the *user* (pass phrase or OTP) on top of the already-
+  // authenticated *client* (§5.1: both are required).
+  gsi::Credential stored = repository_->open(
+      request.username, request.passphrase, request.credential_name,
+      request.auth_mode == protocol::AuthMode::kOtp);
+
+  stats_.gets.fetch_add(1, std::memory_order_relaxed);
+  delegate_to_peer(channel, stored, *record, request.lifetime,
+                   request.want_limited);
+}
+
+// --- RENEW (§6.6) -----------------------------------------------------------
+
+void MyProxyServer::handle_renew(net::Channel& channel,
+                                 const Request& request,
+                                 const pki::VerifiedIdentity& peer) {
+  const auto record =
+      repository_->record(request.username, request.credential_name);
+  if (!record.has_value()) {
+    throw NotFoundError(fmt::format("no credentials stored for '{}'",
+                                    request.username));
+  }
+  // Renewal replaces the pass phrase with possession of the credential
+  // being renewed: the caller must *be* the stored identity (its about-to-
+  // expire proxy still authenticates the connection)...
+  if (!(peer.identity.str() == record->owner_dn)) {
+    throw AuthorizationError(fmt::format(
+        "renewal identity '{}' does not own the stored credential",
+        peer.identity.str()));
+  }
+  // ...and must additionally pass either the server-wide renewer ACL or
+  // the per-credential renewer patterns the user attached at store time.
+  const gsi::AccessControlList per_credential(record->renewer_patterns);
+  if (!config_.authorized_renewers.allows(peer.identity) &&
+      !per_credential.allows(peer.identity)) {
+    throw AuthorizationError(fmt::format(
+        "'{}' is not an authorized renewer", peer.identity.str()));
+  }
+  gsi::Credential stored = repository_->open_for_renewal(
+      request.username, request.credential_name);
+
+  stats_.renewals.fetch_add(1, std::memory_order_relaxed);
+  delegate_to_peer(channel, stored, *record, request.lifetime,
+                   request.want_limited);
+}
+
+void MyProxyServer::delegate_to_peer(
+    net::Channel& channel, const gsi::Credential& credential,
+    const repository::CredentialRecord& record, Seconds requested_lifetime,
+    bool want_limited) {
+  const auto& policy = repository_->policy();
+  Seconds lifetime = requested_lifetime > Seconds(0)
+                         ? requested_lifetime
+                         : policy.default_delegation_lifetime;
+  lifetime = std::min(lifetime, record.max_delegation_lifetime);
+  lifetime = std::min(lifetime, policy.max_delegation_lifetime);
+
+  gsi::ProxyOptions options;
+  options.lifetime = lifetime;
+  options.limited = want_limited || record.always_limited;
+  if (record.restriction.has_value()) {
+    options.restriction = pki::RestrictionPolicy::parse(*record.restriction);
+  }
+
+  channel.send(Response::make_ok().serialize());
+  const std::string csr_pem = channel.receive();
+  const std::string chain_pem =
+      gsi::delegate_credential(credential, csr_pem, options);
+  channel.send(chain_pem);
+}
+
+// --- Metadata commands -------------------------------------------------------
+
+void MyProxyServer::handle_info(net::Channel& channel,
+                                const Request& request,
+                                const pki::VerifiedIdentity& peer) {
+  if (!config_.authorized_retrievers.allows(peer.identity) &&
+      !config_.accepted_credentials.allows(peer.identity)) {
+    throw AuthorizationError("not authorized for INFO");
+  }
+  const auto info =
+      repository_->info(request.username, request.credential_name);
+  if (!info.has_value()) {
+    throw NotFoundError(fmt::format("no credentials stored for '{}'",
+                                    request.username));
+  }
+  Response response;
+  response.fields["OWNER"] = info->owner_dn;
+  response.fields["NOT_AFTER"] = std::to_string(to_unix(info->not_after));
+  response.fields["CREATED_AT"] = std::to_string(to_unix(info->created_at));
+  response.fields["MAX_LIFETIME"] =
+      std::to_string(info->max_delegation_lifetime.count());
+  response.fields["SEALING"] = std::string(to_string(info->sealing));
+  if (info->otp_enabled) {
+    response.fields["OTP_REMAINING"] = std::to_string(info->otp_remaining);
+  }
+  if (info->always_limited) response.fields["LIMITED"] = "1";
+  if (info->restriction.has_value()) {
+    response.fields["RESTRICTION"] = *info->restriction;
+  }
+  channel.send(response.serialize());
+}
+
+void MyProxyServer::handle_list(net::Channel& channel,
+                                const Request& request,
+                                const pki::VerifiedIdentity& peer) {
+  if (!config_.authorized_retrievers.allows(peer.identity) &&
+      !config_.accepted_credentials.allows(peer.identity)) {
+    throw AuthorizationError("not authorized for LIST");
+  }
+  Response response;
+  if (!request.task.empty()) {
+    // Wallet selection (§6.2): answer with the single best credential.
+    const auto chosen =
+        repository_->select_for_task(request.username, request.task);
+    if (!chosen.has_value()) {
+      throw NotFoundError("no credential matches the requested task");
+    }
+    response.fields["SELECTED"] = chosen->name;
+  } else {
+    std::string names;
+    for (const auto& info : repository_->list(request.username)) {
+      if (!names.empty()) names += '\x1f';
+      names += info.name.empty() ? "(default)" : info.name;
+    }
+    if (names.empty()) {
+      throw NotFoundError(fmt::format("no credentials stored for '{}'",
+                                      request.username));
+    }
+    response.fields["NAMES"] = names;
+  }
+  channel.send(response.serialize());
+}
+
+void MyProxyServer::handle_destroy(net::Channel& channel,
+                                   const Request& request,
+                                   const pki::VerifiedIdentity& peer) {
+  const auto record =
+      repository_->record(request.username, request.credential_name);
+  if (!record.has_value()) {
+    throw NotFoundError(fmt::format("no credentials stored for '{}'",
+                                    request.username));
+  }
+  // Only the identity that stored a credential may destroy it (§3.3: the
+  // user stays in control of their credentials).
+  if (!(peer.identity.str() == record->owner_dn)) {
+    throw AuthorizationError(fmt::format(
+        "'{}' does not own the stored credential", peer.identity.str()));
+  }
+  repository_->destroy(request.username, request.credential_name);
+  channel.send(Response::make_ok().serialize());
+}
+
+void MyProxyServer::handle_change_passphrase(
+    net::Channel& channel, const Request& request,
+    const pki::VerifiedIdentity& peer) {
+  const auto record =
+      repository_->record(request.username, request.credential_name);
+  if (!record.has_value()) {
+    throw NotFoundError(fmt::format("no credentials stored for '{}'",
+                                    request.username));
+  }
+  if (!(peer.identity.str() == record->owner_dn)) {
+    throw AuthorizationError(fmt::format(
+        "'{}' does not own the stored credential", peer.identity.str()));
+  }
+  repository_->change_passphrase(request.username, request.passphrase,
+                                 request.new_passphrase,
+                                 request.credential_name);
+  channel.send(Response::make_ok().serialize());
+}
+
+// --- STORE / RETRIEVE (§6.1 long-term credential management) ----------------
+
+void MyProxyServer::handle_store(net::Channel& channel,
+                                 const Request& request,
+                                 const pki::VerifiedIdentity& peer) {
+  if (!config_.accepted_credentials.allows(peer.identity)) {
+    throw AuthorizationError(fmt::format(
+        "'{}' is not in accepted_credentials", peer.identity.str()));
+  }
+  channel.send(Response::make_ok().serialize());
+  // STORE ships the whole credential (certificate + key), unlike PUT which
+  // delegates a proxy. The transport is encrypted; at rest the credential
+  // is pass-phrase sealed like any other record.
+  const std::string pem = channel.receive();
+  gsi::Credential credential = gsi::Credential::from_pem(pem);
+  const pki::VerifiedIdentity stored_identity =
+      trust_store_.verify(credential.full_chain(), config_.verify_options);
+  if (!(stored_identity.identity == peer.identity)) {
+    throw AuthorizationError(
+        "stored identity does not match connection identity");
+  }
+  repository::StoreOptions options;
+  options.name = request.credential_name;
+  options.max_delegation_lifetime = request.lifetime;
+  options.retriever_patterns = request.retriever_patterns;
+  options.renewer_patterns = request.renewer_patterns;
+  options.task_tags = request.task;
+  options.restriction = request.restriction;
+  options.long_term = true;
+  repository_->store(request.username, request.passphrase,
+                     peer.identity.str(), credential, options);
+  stats_.puts.fetch_add(1, std::memory_order_relaxed);
+  channel.send(Response::make_ok().serialize());
+}
+
+void MyProxyServer::handle_retrieve(net::Channel& channel,
+                                    const Request& request,
+                                    const pki::VerifiedIdentity& peer) {
+  const auto record =
+      repository_->record(request.username, request.credential_name);
+  if (!record.has_value()) {
+    throw NotFoundError(fmt::format("no credentials stored for '{}'",
+                                    request.username));
+  }
+  if (!retriever_allowed(*record, peer)) {
+    throw AuthorizationError(fmt::format(
+        "'{}' is not an authorized retriever", peer.identity.str()));
+  }
+  // RETRIEVE additionally requires the caller to *be* the credential owner:
+  // exporting key material to a third party would defeat §3.3's "remove,
+  // as much as possible, any credentials from the portal".
+  if (!(peer.identity.str() == record->owner_dn)) {
+    throw AuthorizationError("only the owner may retrieve key material");
+  }
+  gsi::Credential stored = repository_->open(
+      request.username, request.passphrase, request.credential_name,
+      request.auth_mode == protocol::AuthMode::kOtp);
+  channel.send(Response::make_ok().serialize());
+  const SecureBuffer pem = stored.to_pem();
+  channel.send(pem.view());
+  stats_.gets.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace myproxy::server

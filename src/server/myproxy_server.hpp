@@ -1,0 +1,160 @@
+// The MyProxy repository server (paper §4).
+//
+// Every connection is mutually authenticated over TLS with Grid credentials
+// (§5.1); the peer's verified identity is then checked against two
+// server-wide ACLs — `accepted_credentials` (who may store) and
+// `authorized_retrievers` (who may retrieve) — plus any per-credential
+// restrictions, before the protocol command is dispatched to the
+// Repository. An `authorized_renewers` ACL gates the §6.6 renewal path.
+//
+// Threading: one accept loop thread; connections are serviced on a bounded
+// ThreadPool (the repository is a shared production service, §3.3).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "common/thread_pool.hpp"
+#include "gsi/acl.hpp"
+#include "server/audit_log.hpp"
+#include "gsi/credential.hpp"
+#include "net/channel.hpp"
+#include "net/socket.hpp"
+#include "pki/trust_store.hpp"
+#include "protocol/message.hpp"
+#include "repository/repository.hpp"
+#include "tls/tls_channel.hpp"
+
+namespace myproxy::server {
+
+struct ServerConfig {
+  /// TCP port; 0 picks an ephemeral port (tests). The original service ran
+  /// on 7512.
+  std::uint16_t port = 0;
+
+  /// Who may delegate credentials *to* the repository (typically users).
+  gsi::AccessControlList accepted_credentials;
+
+  /// Who may request delegations *from* it (typically portals). "The latter
+  /// is particularly important" (§5.1).
+  gsi::AccessControlList authorized_retrievers;
+
+  /// Who may refresh renewable credentials without a pass phrase (§6.6).
+  gsi::AccessControlList authorized_renewers;
+
+  std::size_t worker_threads = 4;
+
+  pki::VerifyOptions verify_options;
+
+  /// Period of the background sweep that deletes expired records (the
+  /// operational half of the bounded-lifetime defence). Zero disables it;
+  /// tests drive Repository::sweep_expired() directly.
+  Seconds sweep_interval{60};
+};
+
+/// Operation counters for tests, benchmarks, and the audit story.
+struct ServerStats {
+  std::atomic<std::uint64_t> connections{0};
+  std::atomic<std::uint64_t> puts{0};
+  std::atomic<std::uint64_t> gets{0};
+  std::atomic<std::uint64_t> renewals{0};
+  std::atomic<std::uint64_t> auth_failures{0};
+  std::atomic<std::uint64_t> authz_failures{0};
+  std::atomic<std::uint64_t> protocol_errors{0};
+};
+
+class MyProxyServer {
+ public:
+  MyProxyServer(gsi::Credential host_credential, pki::TrustStore trust_store,
+                std::shared_ptr<repository::Repository> repository,
+                ServerConfig config);
+  ~MyProxyServer();
+
+  MyProxyServer(const MyProxyServer&) = delete;
+  MyProxyServer& operator=(const MyProxyServer&) = delete;
+
+  /// Bind, start the accept loop, and return (non-blocking).
+  void start();
+
+  /// Stop accepting, drain in-flight connections, join.
+  void stop();
+
+  /// Port actually bound (valid after start()).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  [[nodiscard]] const ServerStats& stats() const { return stats_; }
+
+  /// Structured audit trail (§5.1 detection story).
+  [[nodiscard]] const AuditLog& audit() const { return audit_; }
+
+  [[nodiscard]] const repository::Repository& repository() const {
+    return *repository_;
+  }
+
+  /// Service one already-authenticated message channel. Public so tests
+  /// and in-process benchmarks can exercise the full command dispatch
+  /// without TCP or TLS.
+  void serve_channel(net::Channel& channel,
+                     const pki::VerifiedIdentity& peer);
+
+ private:
+  void accept_loop();
+  void handle_connection(net::Socket socket);
+
+  void handle_put(net::Channel& channel, const protocol::Request& request,
+                  const pki::VerifiedIdentity& peer);
+  void handle_get(net::Channel& channel, const protocol::Request& request,
+                  const pki::VerifiedIdentity& peer);
+  void handle_renew(net::Channel& channel, const protocol::Request& request,
+                    const pki::VerifiedIdentity& peer);
+  void handle_info(net::Channel& channel, const protocol::Request& request,
+                   const pki::VerifiedIdentity& peer);
+  void handle_list(net::Channel& channel, const protocol::Request& request,
+                   const pki::VerifiedIdentity& peer);
+  void handle_destroy(net::Channel& channel,
+                      const protocol::Request& request,
+                      const pki::VerifiedIdentity& peer);
+  void handle_change_passphrase(net::Channel& channel,
+                                const protocol::Request& request,
+                                const pki::VerifiedIdentity& peer);
+  void handle_store(net::Channel& channel, const protocol::Request& request,
+                    const pki::VerifiedIdentity& peer);
+  void handle_retrieve(net::Channel& channel,
+                       const protocol::Request& request,
+                       const pki::VerifiedIdentity& peer);
+
+  /// Shared GET/RENEW tail: delegate `credential` to the peer over the
+  /// channel under the stored record's restrictions.
+  void delegate_to_peer(net::Channel& channel,
+                        const gsi::Credential& credential,
+                        const repository::CredentialRecord& record,
+                        Seconds requested_lifetime, bool want_limited);
+
+  [[nodiscard]] bool retriever_allowed(
+      const repository::CredentialRecord& record,
+      const pki::VerifiedIdentity& peer) const;
+
+  gsi::Credential host_credential_;
+  pki::TrustStore trust_store_;
+  std::shared_ptr<repository::Repository> repository_;
+  ServerConfig config_;
+  tls::TlsContext tls_context_;
+
+  std::optional<net::TcpListener> listener_;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::thread sweep_thread_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::atomic<bool> stopping_{false};
+  std::condition_variable stop_cv_;
+  std::mutex stop_mutex_;
+
+  ServerStats stats_;
+  AuditLog audit_;
+};
+
+}  // namespace myproxy::server

@@ -1,0 +1,193 @@
+#include "tls/tls_channel.hpp"
+
+#include <openssl/err.h>
+#include <openssl/ssl.h>
+#include <openssl/x509.h>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+#include "crypto/openssl_util.hpp"
+
+#include <csignal>
+#include <mutex>
+
+namespace myproxy::tls {
+
+namespace {
+
+// SSL_write uses plain write(2); a peer that slams the connection shut
+// would otherwise kill the whole server process with SIGPIPE. Write errors
+// are reported through SSL_get_error instead.
+void ignore_sigpipe_once() {
+  static std::once_flag once;
+  std::call_once(once, [] { std::signal(SIGPIPE, SIG_IGN); });
+}
+
+// Accept every certificate at the TLS layer; real validation happens in
+// TrustStore::verify with GSI proxy semantics. Returning 1 here does NOT
+// grant trust — a peer without a verifiable chain fails one layer up.
+int accept_all_verify_callback(int /*preverify_ok*/,
+                               X509_STORE_CTX* /*ctx*/) {
+  return 1;
+}
+
+[[noreturn]] void throw_ssl(std::string_view what, SSL* ssl, int rc) {
+  const int err = SSL_get_error(ssl, rc);
+  const std::string queued = crypto::drain_error_queue();
+  throw IoError(
+      fmt::format("{}: ssl_error={} ({})", what, err, queued));
+}
+
+}  // namespace
+
+TlsContext TlsContext::make(const gsi::Credential& credential,
+                            PeerAuth peer_auth) {
+  ignore_sigpipe_once();
+  SSL_CTX* raw = SSL_CTX_new(TLS_method());
+  crypto::check_ptr(raw, "SSL_CTX_new");
+  TlsContext out;
+  out.ctx_ = std::shared_ptr<SSL_CTX>(raw,
+                                      [](SSL_CTX* p) { SSL_CTX_free(p); });
+
+  crypto::check(SSL_CTX_set_min_proto_version(raw, TLS1_2_VERSION),
+                "SSL_CTX_set_min_proto_version");
+  crypto::check(SSL_CTX_use_certificate(raw, credential.certificate().native()),
+                "SSL_CTX_use_certificate");
+  crypto::check(SSL_CTX_use_PrivateKey(raw, credential.key().native()),
+                "SSL_CTX_use_PrivateKey");
+  crypto::check(SSL_CTX_check_private_key(raw), "SSL_CTX_check_private_key");
+  for (const auto& cert : credential.chain()) {
+    // add_extra_chain_cert takes ownership; hand it its own reference.
+    X509* copy = cert.native();
+    X509_up_ref(copy);
+    if (SSL_CTX_add_extra_chain_cert(raw, copy) != 1) {
+      X509_free(copy);
+      crypto::throw_openssl("SSL_CTX_add_extra_chain_cert");
+    }
+  }
+
+  if (peer_auth == PeerAuth::kRequired) {
+    // Require a peer certificate in both directions (mutual authentication,
+    // paper §5.1), but defer the trust decision to the GSI layer.
+    SSL_CTX_set_verify(raw, SSL_VERIFY_PEER | SSL_VERIFY_FAIL_IF_NO_PEER_CERT,
+                       accept_all_verify_callback);
+  } else {
+    // Browser-facing HTTPS: clients hold no Grid credentials (§3.2); they
+    // authenticate with the user name + pass phrase form instead.
+    SSL_CTX_set_verify(raw, SSL_VERIFY_NONE, nullptr);
+  }
+  return out;
+}
+
+TlsContext TlsContext::anonymous_client() {
+  ignore_sigpipe_once();
+  SSL_CTX* raw = SSL_CTX_new(TLS_method());
+  crypto::check_ptr(raw, "SSL_CTX_new");
+  TlsContext out;
+  out.ctx_ = std::shared_ptr<SSL_CTX>(raw,
+                                      [](SSL_CTX* p) { SSL_CTX_free(p); });
+  crypto::check(SSL_CTX_set_min_proto_version(raw, TLS1_2_VERSION),
+                "SSL_CTX_set_min_proto_version");
+  SSL_CTX_set_verify(raw, SSL_VERIFY_NONE, nullptr);
+  return out;
+}
+
+struct TlsChannel::Impl {
+  net::Socket socket;
+  SSL* ssl = nullptr;
+
+  ~Impl() {
+    if (ssl != nullptr) SSL_free(ssl);
+  }
+};
+
+TlsChannel::TlsChannel(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {
+  // Collect the peer chain, leaf first. A missing certificate is legal
+  // only when the context was built with PeerAuth::kNone (the TLS
+  // handshake itself enforces kRequired); peer_chain() stays empty then.
+  X509* leaf = SSL_get_peer_certificate(impl_->ssl);  // +1 ref
+  if (leaf == nullptr) return;
+  peer_chain_.push_back(pki::Certificate::adopt(leaf));
+
+  STACK_OF(X509)* stack = SSL_get_peer_cert_chain(impl_->ssl);  // borrowed
+  if (stack != nullptr) {
+    for (int i = 0; i < sk_X509_num(stack); ++i) {
+      X509* cert = sk_X509_value(stack, i);
+      pki::Certificate wrapped = [cert] {
+        X509_up_ref(cert);
+        return pki::Certificate::adopt(cert);
+      }();
+      // On the connecting side the stack includes the leaf; skip it.
+      if (wrapped == peer_chain_.front()) continue;
+      peer_chain_.push_back(std::move(wrapped));
+    }
+  }
+}
+
+TlsChannel::~TlsChannel() = default;
+
+std::unique_ptr<TlsChannel> TlsChannel::accept(const TlsContext& context,
+                                               net::Socket socket) {
+  auto impl = std::make_unique<Impl>();
+  impl->socket = std::move(socket);
+  impl->ssl = crypto::check_ptr(SSL_new(context.native()), "SSL_new");
+  crypto::check(SSL_set_fd(impl->ssl, impl->socket.fd()), "SSL_set_fd");
+  const int rc = SSL_accept(impl->ssl);
+  if (rc != 1) throw_ssl("TLS accept handshake failed", impl->ssl, rc);
+  return std::unique_ptr<TlsChannel>(new TlsChannel(std::move(impl)));
+}
+
+std::unique_ptr<TlsChannel> TlsChannel::connect(const TlsContext& context,
+                                                net::Socket socket) {
+  auto impl = std::make_unique<Impl>();
+  impl->socket = std::move(socket);
+  impl->ssl = crypto::check_ptr(SSL_new(context.native()), "SSL_new");
+  crypto::check(SSL_set_fd(impl->ssl, impl->socket.fd()), "SSL_set_fd");
+  const int rc = SSL_connect(impl->ssl);
+  if (rc != 1) throw_ssl("TLS connect handshake failed", impl->ssl, rc);
+  return std::unique_ptr<TlsChannel>(new TlsChannel(std::move(impl)));
+}
+
+void TlsChannel::send(std::string_view message) {
+  const std::string header = net::encode_frame_header(message.size());
+  std::string framed = header;
+  framed += message;
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const int n = SSL_write(impl_->ssl, framed.data() + sent,
+                            static_cast<int>(framed.size() - sent));
+    if (n <= 0) throw_ssl("SSL_write", impl_->ssl, n);
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string TlsChannel::receive() {
+  const auto read_exact = [this](std::size_t n) {
+    std::string out(n, '\0');
+    std::size_t got = 0;
+    while (got < n) {
+      const int r = SSL_read(impl_->ssl, out.data() + got,
+                             static_cast<int>(n - got));
+      if (r <= 0) throw_ssl("SSL_read", impl_->ssl, r);
+      got += static_cast<std::size_t>(r);
+    }
+    return out;
+  };
+  const std::string header = read_exact(4);
+  const std::size_t size = net::decode_frame_header(header);
+  if (size == 0) return {};
+  return read_exact(size);
+}
+
+void TlsChannel::close() noexcept {
+  if (impl_ != nullptr && impl_->ssl != nullptr) {
+    SSL_shutdown(impl_->ssl);
+  }
+  if (impl_ != nullptr) impl_->socket.close();
+}
+
+std::string TlsChannel::protocol_version() const {
+  return SSL_get_version(impl_->ssl);
+}
+
+}  // namespace myproxy::tls

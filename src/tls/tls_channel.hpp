@@ -1,0 +1,92 @@
+// TLS transport with mutual authentication by Grid credentials.
+//
+// The paper uses SSL for three things (§2.2): authentication, message
+// integrity, and message privacy, with *mutual* authentication between
+// MyProxy clients and the repository (§5.1: "MyProxy clients also require
+// mutual authentication of the repository"). GSI-specific chain rules
+// (proxy certificates) are not expressible in stock X.509 path validation,
+// so this layer transports the peer's full certificate chain and leaves the
+// trust decision to pki::TrustStore::verify — exactly how GSI layers on
+// SSL "without modification".
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gsi/credential.hpp"
+#include "net/channel.hpp"
+#include "net/socket.hpp"
+#include "pki/certificate.hpp"
+
+using SSL_CTX = struct ssl_ctx_st;
+
+namespace myproxy::tls {
+
+/// Whether the peer must present a certificate. GSI connections require
+/// mutual authentication; the portal's browser-facing HTTPS (§5.2) is
+/// server-auth only, since 2001-era browsers hold no Grid credentials —
+/// that asymmetry is the paper's core problem statement.
+enum class PeerAuth { kRequired, kNone };
+
+/// Holds an SSL_CTX configured with a credential (certificate, key, chain).
+/// One context is typically shared by many channels.
+class TlsContext {
+ public:
+  /// Build a context presenting `credential` to peers. Works for both the
+  /// connecting and accepting role. Peer certificates (when required) are
+  /// accepted unconditionally at the TLS layer — callers must pass the
+  /// peer chain to TrustStore::verify before trusting the connection.
+  static TlsContext make(const gsi::Credential& credential,
+                         PeerAuth peer_auth = PeerAuth::kRequired);
+
+  /// Context with no credential at all — a browser-like client that can
+  /// authenticate the server but presents nothing itself.
+  static TlsContext anonymous_client();
+
+  [[nodiscard]] SSL_CTX* native() const noexcept { return ctx_.get(); }
+
+ private:
+  std::shared_ptr<SSL_CTX> ctx_;
+};
+
+/// One TLS connection, implementing the framed message Channel.
+class TlsChannel final : public net::Channel {
+ public:
+  /// Run the accepting-side handshake over `socket`.
+  static std::unique_ptr<TlsChannel> accept(const TlsContext& context,
+                                            net::Socket socket);
+
+  /// Run the connecting-side handshake over `socket`.
+  static std::unique_ptr<TlsChannel> connect(const TlsContext& context,
+                                             net::Socket socket);
+
+  ~TlsChannel() override;
+
+  void send(std::string_view message) override;
+  [[nodiscard]] std::string receive() override;
+  void close() noexcept override;
+
+  /// Peer's certificate chain, leaf first, exactly as presented in the
+  /// handshake; empty when the peer authenticated anonymously (browser
+  /// side of the portal). Feed to TrustStore::verify for GSI connections.
+  [[nodiscard]] const std::vector<pki::Certificate>& peer_chain() const {
+    return peer_chain_;
+  }
+
+  [[nodiscard]] bool peer_authenticated() const {
+    return !peer_chain_.empty();
+  }
+
+  /// Negotiated protocol version string ("TLSv1.3"), for logs/benches.
+  [[nodiscard]] std::string protocol_version() const;
+
+ private:
+  struct Impl;
+  explicit TlsChannel(std::unique_ptr<Impl> impl);
+
+  std::unique_ptr<Impl> impl_;
+  std::vector<pki::Certificate> peer_chain_;
+};
+
+}  // namespace myproxy::tls

@@ -1,0 +1,57 @@
+#include "common/clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace myproxy {
+namespace {
+
+TEST(VirtualClock, AdvanceShiftsNow) {
+  VirtualClock::instance().reset();
+  const TimePoint before = now();
+  {
+    const ScopedClockAdvance warp(Seconds(3600));
+    const TimePoint during = now();
+    EXPECT_GE(during - before, Seconds(3599));
+  }
+  const TimePoint after = now();
+  EXPECT_LT(after - before, Seconds(60));
+}
+
+TEST(VirtualClock, AdvanceAccumulates) {
+  VirtualClock::instance().reset();
+  const TimePoint t0 = now();
+  VirtualClock::instance().advance(Seconds(10));
+  VirtualClock::instance().advance(Seconds(20));
+  EXPECT_GE(now() - t0, Seconds(29));
+  VirtualClock::instance().reset();
+}
+
+TEST(UnixTime, RoundTrips) {
+  const std::int64_t ts = 997113600;  // 2001-08-06, HPDC-10 week
+  EXPECT_EQ(to_unix(from_unix(ts)), ts);
+  EXPECT_EQ(to_unix(from_unix(0)), 0);
+}
+
+TEST(FormatUtc, KnownTimestamp) {
+  // 2001-08-06T00:00:00Z
+  EXPECT_EQ(format_utc(from_unix(997056000)), "2001-08-06T00:00:00Z");
+}
+
+TEST(FormatDuration, HumanReadable) {
+  EXPECT_EQ(format_duration(Seconds(0)), "0s");
+  EXPECT_EQ(format_duration(Seconds(59)), "59s");
+  EXPECT_EQ(format_duration(Seconds(61)), "1m 1s");
+  EXPECT_EQ(format_duration(Seconds(3600)), "1h 0m 0s");
+  EXPECT_EQ(format_duration(Seconds(7 * 24 * 3600)), "7d 0h 0m 0s");
+  EXPECT_EQ(format_duration(Seconds(-61)), "-1m 1s");
+}
+
+TEST(PaperDefaults, MatchSection4) {
+  // §4.1: "credentials delegated to the repository normally have a lifetime
+  // of a week"; §4.3: portal-side proxies live "a few hours".
+  EXPECT_EQ(kDefaultRepositoryLifetime, Seconds(7 * 24 * 3600));
+  EXPECT_LE(kDefaultDelegatedLifetime, Seconds(24 * 3600));
+}
+
+}  // namespace
+}  // namespace myproxy

@@ -1,0 +1,82 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace myproxy {
+namespace {
+
+TEST(Config, ParsesMyproxyServerStyleFile) {
+  const auto config = Config::parse(R"(
+# myproxy-server.config
+accepted_credentials  "/C=US/O=Grid/*"
+authorized_retrievers "/C=US/O=Grid/OU=Portals/*"
+max_proxy_lifetime    43200
+storage_dir           /var/myproxy
+)");
+  EXPECT_EQ(config.get("accepted_credentials"), "/C=US/O=Grid/*");
+  EXPECT_EQ(config.get("authorized_retrievers"),
+            "/C=US/O=Grid/OU=Portals/*");
+  EXPECT_EQ(config.get_int("max_proxy_lifetime"), 43200);
+  EXPECT_EQ(config.get("storage_dir"), "/var/myproxy");
+}
+
+TEST(Config, AccumulatesRepeatedKeys) {
+  const auto config = Config::parse(
+      "acl \"/O=Grid/CN=portal-1\"\n"
+      "acl \"/O=Grid/CN=portal-2\" \"/O=Grid/CN=portal-3\"\n");
+  EXPECT_EQ(config.get_all("acl"),
+            (std::vector<std::string>{"/O=Grid/CN=portal-1",
+                                      "/O=Grid/CN=portal-2",
+                                      "/O=Grid/CN=portal-3"}));
+  // get() returns the first value.
+  EXPECT_EQ(config.get("acl"), "/O=Grid/CN=portal-1");
+}
+
+TEST(Config, CommentsAndBlankLinesIgnored) {
+  const auto config = Config::parse("# only comments\n\n  \t\nkey value # trailing\n");
+  EXPECT_EQ(config.size(), 1u);
+  EXPECT_EQ(config.get("key"), "value");
+}
+
+TEST(Config, Fallbacks) {
+  const auto config = Config::parse("port 7512\nverbose yes\n");
+  EXPECT_EQ(config.get_or("missing", "dflt"), "dflt");
+  EXPECT_EQ(config.get_int_or("missing", 99), 99);
+  EXPECT_EQ(config.get_int_or("port", 0), 7512);
+  EXPECT_TRUE(config.get_bool_or("verbose", false));
+  EXPECT_FALSE(config.get_bool_or("missing", false));
+}
+
+TEST(Config, BooleanSpellings) {
+  const auto config =
+      Config::parse("a true\nb FALSE\nc on\nd Off\ne 1\nf 0\ng Yes\nh no\n");
+  EXPECT_TRUE(config.get_bool_or("a", false));
+  EXPECT_FALSE(config.get_bool_or("b", true));
+  EXPECT_TRUE(config.get_bool_or("c", false));
+  EXPECT_FALSE(config.get_bool_or("d", true));
+  EXPECT_TRUE(config.get_bool_or("e", false));
+  EXPECT_FALSE(config.get_bool_or("f", true));
+  EXPECT_TRUE(config.get_bool_or("g", false));
+  EXPECT_FALSE(config.get_bool_or("h", true));
+}
+
+TEST(Config, Errors) {
+  EXPECT_THROW(Config::parse("lonely_key\n"), ConfigError);
+  EXPECT_THROW(Config::parse("key \"unterminated\n"), ConfigError);
+  const auto config = Config::parse("n abc\nb maybe\n");
+  EXPECT_THROW((void)config.get("missing"), ConfigError);
+  EXPECT_THROW((void)config.get_int("n"), ConfigError);
+  EXPECT_THROW((void)config.get_bool_or("b", true), ConfigError);
+  EXPECT_THROW(Config::load("/nonexistent/path/config"), IoError);
+}
+
+TEST(Config, SetOverridesParsedValue) {
+  auto config = Config::parse("port 1\n");
+  config.set("port", "2");
+  EXPECT_EQ(config.get_int("port"), 2);
+}
+
+}  // namespace
+}  // namespace myproxy

@@ -1,0 +1,67 @@
+#include "common/encoding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "common/error.hpp"
+
+namespace myproxy::encoding {
+namespace {
+
+TEST(Base64, Rfc4648Vectors) {
+  EXPECT_EQ(base64_encode(""), "");
+  EXPECT_EQ(base64_encode("f"), "Zg==");
+  EXPECT_EQ(base64_encode("fo"), "Zm8=");
+  EXPECT_EQ(base64_encode("foo"), "Zm9v");
+  EXPECT_EQ(base64_encode("foob"), "Zm9vYg==");
+  EXPECT_EQ(base64_encode("fooba"), "Zm9vYmE=");
+  EXPECT_EQ(base64_encode("foobar"), "Zm9vYmFy");
+}
+
+TEST(Base64, DecodeVectors) {
+  EXPECT_EQ(base64_decode_string("Zm9vYmFy"), "foobar");
+  EXPECT_EQ(base64_decode_string("Zg=="), "f");
+  EXPECT_EQ(base64_decode_string(""), "");
+}
+
+TEST(Base64, RejectsMalformedInput) {
+  EXPECT_THROW(base64_decode("abc"), ParseError);       // not multiple of 4
+  EXPECT_THROW(base64_decode("ab!d"), ParseError);      // bad character
+  EXPECT_THROW(base64_decode("=abc"), ParseError);      // padding up front
+  EXPECT_THROW(base64_decode("a=bc"), ParseError);      // data after padding
+  EXPECT_THROW(base64_decode("Zg==Zg=="), ParseError);  // padding mid-stream
+  EXPECT_THROW(base64_decode("Zm9v\nYmFy"), ParseError);  // whitespace
+}
+
+TEST(Base64, RoundTripsRandomBuffers) {
+  std::mt19937 rng(42);
+  for (std::size_t len : {0u, 1u, 2u, 3u, 4u, 63u, 64u, 65u, 1000u}) {
+    Bytes data(len);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+    EXPECT_EQ(base64_decode(base64_encode(data)), data) << "len=" << len;
+  }
+}
+
+TEST(Hex, EncodeDecode) {
+  const Bytes data{0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(hex_encode(data), "0001abff");
+  EXPECT_EQ(hex_decode("0001abff"), data);
+  EXPECT_EQ(hex_decode("0001ABFF"), data);  // upper-case accepted
+  EXPECT_TRUE(hex_decode("").empty());
+}
+
+TEST(Hex, RejectsMalformedInput) {
+  EXPECT_THROW(hex_decode("abc"), ParseError);   // odd length
+  EXPECT_THROW(hex_decode("zz"), ParseError);    // bad digit
+  EXPECT_THROW(hex_decode("0 "), ParseError);    // whitespace
+}
+
+TEST(ByteStringBridge, RoundTrips) {
+  const Bytes data{'h', 'i', 0, 'x'};
+  EXPECT_EQ(to_bytes(to_string(data)), data);
+  EXPECT_EQ(to_string(data).size(), 4u);  // embedded NUL preserved
+}
+
+}  // namespace
+}  // namespace myproxy::encoding

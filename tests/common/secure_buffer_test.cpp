@@ -1,0 +1,58 @@
+#include "common/secure_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace myproxy {
+namespace {
+
+TEST(SecureBuffer, ConstructsFromText) {
+  const SecureBuffer buf(std::string_view("secret"));
+  EXPECT_EQ(buf.size(), 6u);
+  EXPECT_EQ(buf.view(), "secret");
+  EXPECT_EQ(buf.str(), "secret");
+}
+
+TEST(SecureBuffer, MoveWipesSource) {
+  SecureBuffer a(std::string_view("secret"));
+  SecureBuffer b(std::move(a));
+  EXPECT_EQ(b.view(), "secret");
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move) intent of test
+}
+
+TEST(SecureBuffer, MoveAssignWipesBothSides) {
+  SecureBuffer a(std::string_view("aaaa"));
+  SecureBuffer b(std::string_view("bbbb"));
+  b = std::move(a);
+  EXPECT_EQ(b.view(), "aaaa");
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(SecureBuffer, WipeClearsContents) {
+  SecureBuffer buf(std::string_view("secret"));
+  buf.wipe();
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.size(), 0u);
+}
+
+TEST(SecureBuffer, AssignReplacesContents) {
+  SecureBuffer buf(std::string_view("old"));
+  const std::vector<std::uint8_t> fresh{'n', 'e', 'w'};
+  buf.assign(fresh);
+  EXPECT_EQ(buf.view(), "new");
+}
+
+TEST(SecureBuffer, EqualityComparesContents) {
+  EXPECT_EQ(SecureBuffer(std::string_view("x")),
+            SecureBuffer(std::string_view("x")));
+  EXPECT_FALSE(SecureBuffer(std::string_view("x")) ==
+               SecureBuffer(std::string_view("y")));
+}
+
+TEST(SecureWipe, ZeroesMemory) {
+  char data[8] = {'s', 'e', 'c', 'r', 'e', 't', '!', '!'};
+  secure_wipe(data, sizeof(data));
+  for (const char c : data) EXPECT_EQ(c, 0);
+}
+
+}  // namespace
+}  // namespace myproxy

@@ -1,0 +1,95 @@
+#include "common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace myproxy::strings {
+namespace {
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim("hello"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("a b"), "a b");
+}
+
+TEST(Split, PreservesEmptyFields) {
+  EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("a", ','), (std::vector<std::string>{"a"}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitTrimmed, DropsEmptiesAndTrims) {
+  EXPECT_EQ(split_trimmed(" a , , b ", ','),
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(split_trimmed("  ,  ", ',').empty());
+}
+
+TEST(Join, RoundTripsWithSplit) {
+  const std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(join(parts, ","), "x,y,z");
+  EXPECT_EQ(split(join(parts, ","), ','), parts);
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(CaseHelpers, LowerAndIequals) {
+  EXPECT_EQ(to_lower("MiXeD123"), "mixed123");
+  EXPECT_TRUE(iequals("VERSION", "version"));
+  EXPECT_TRUE(iequals("", ""));
+  EXPECT_FALSE(iequals("abc", "abd"));
+  EXPECT_FALSE(iequals("abc", "abcd"));
+}
+
+TEST(IsAllDigits, Basics) {
+  EXPECT_TRUE(is_all_digits("0123456789"));
+  EXPECT_FALSE(is_all_digits(""));
+  EXPECT_FALSE(is_all_digits("12a"));
+  EXPECT_FALSE(is_all_digits("-12"));
+}
+
+TEST(ConstantTimeEquals, MatchesSemantics) {
+  EXPECT_TRUE(constant_time_equals("secret", "secret"));
+  EXPECT_FALSE(constant_time_equals("secret", "secres"));
+  EXPECT_FALSE(constant_time_equals("secret", "secret1"));
+  EXPECT_FALSE(constant_time_equals("", "x"));
+  EXPECT_TRUE(constant_time_equals("", ""));
+}
+
+struct GlobCase {
+  const char* pattern;
+  const char* text;
+  bool match;
+};
+
+class GlobMatch : public ::testing::TestWithParam<GlobCase> {};
+
+TEST_P(GlobMatch, MatchesExpected) {
+  const auto& c = GetParam();
+  EXPECT_EQ(glob_match(c.pattern, c.text), c.match)
+      << "pattern=" << c.pattern << " text=" << c.text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DnPatterns, GlobMatch,
+    ::testing::Values(
+        GlobCase{"*", "", true},
+        GlobCase{"*", "/C=US/O=Grid/CN=alice", true},
+        GlobCase{"/C=US/O=Grid/*", "/C=US/O=Grid/CN=alice", true},
+        GlobCase{"/C=US/O=Grid/*", "/C=US/O=Other/CN=alice", false},
+        GlobCase{"/C=US/*/CN=alice", "/C=US/O=Grid/CN=alice", true},
+        GlobCase{"/C=US/*/CN=alice", "/C=US/O=Grid/CN=bob", false},
+        GlobCase{"*portal*", "/O=Grid/CN=portal-1", true},
+        GlobCase{"?", "x", true},
+        GlobCase{"?", "", false},
+        GlobCase{"a*b*c", "axxbyyc", true},
+        GlobCase{"a*b*c", "axxbyy", false},
+        GlobCase{"", "", true},
+        GlobCase{"", "x", false},
+        GlobCase{"**", "anything", true},
+        GlobCase{"/CN=exact", "/CN=exact", true},
+        GlobCase{"/CN=exact", "/CN=exact2", false}));
+
+}  // namespace
+}  // namespace myproxy::strings

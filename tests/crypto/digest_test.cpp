@@ -1,0 +1,80 @@
+#include "crypto/digest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/encoding.hpp"
+#include "crypto/random.hpp"
+
+namespace myproxy::crypto {
+namespace {
+
+TEST(Digest, Sha256KnownVector) {
+  // SHA-256("abc") from FIPS 180-2 appendix B.1.
+  EXPECT_EQ(
+      digest_hex(HashAlgorithm::kSha256, "abc"),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Digest, Sha1KnownVector) {
+  EXPECT_EQ(digest_hex(HashAlgorithm::kSha1, "abc"),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Digest, Sha512KnownVector) {
+  EXPECT_EQ(digest_hex(HashAlgorithm::kSha512, "abc"),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+}
+
+TEST(Digest, EmptyInput) {
+  EXPECT_EQ(
+      digest_hex(HashAlgorithm::kSha256, ""),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Digest, SizesMatchAlgorithm) {
+  EXPECT_EQ(digest(HashAlgorithm::kSha1, "x").size(),
+            digest_size(HashAlgorithm::kSha1));
+  EXPECT_EQ(digest(HashAlgorithm::kSha256, "x").size(),
+            digest_size(HashAlgorithm::kSha256));
+  EXPECT_EQ(digest(HashAlgorithm::kSha512, "x").size(),
+            digest_size(HashAlgorithm::kSha512));
+}
+
+TEST(Digest, IncrementalMatchesOneShot) {
+  Digest d(HashAlgorithm::kSha256);
+  d.update("hello ");
+  d.update("world");
+  EXPECT_EQ(d.finish(), digest(HashAlgorithm::kSha256, "hello world"));
+}
+
+TEST(Hmac, Rfc4231Vector) {
+  // RFC 4231 test case 2: key "Jefe", data "what do ya want for nothing?".
+  const std::vector<std::uint8_t> key{'J', 'e', 'f', 'e'};
+  const auto mac =
+      hmac(HashAlgorithm::kSha256, key, "what do ya want for nothing?");
+  EXPECT_EQ(
+      encoding::hex_encode(mac),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Random, ProducesRequestedLength) {
+  EXPECT_EQ(random_bytes(0).size(), 0u);
+  EXPECT_EQ(random_bytes(1).size(), 1u);
+  EXPECT_EQ(random_bytes(4096).size(), 4096u);
+  EXPECT_EQ(random_hex(16).size(), 32u);
+}
+
+TEST(Random, ValuesDiffer) {
+  EXPECT_NE(random_bytes(32), random_bytes(32));
+}
+
+TEST(Random, UniformStaysInBounds) {
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(random_uniform(7), 7u);
+  }
+  EXPECT_EQ(random_uniform(1), 0u);
+}
+
+}  // namespace
+}  // namespace myproxy::crypto

@@ -1,0 +1,132 @@
+#include "crypto/key_pair.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "crypto/random.hpp"
+
+namespace myproxy::crypto {
+namespace {
+
+// Key generation is slow (RSA); share one pair across tests in this suite.
+const KeyPair& test_rsa_key() {
+  static const KeyPair key = KeyPair::generate(KeySpec::rsa(1024));
+  return key;
+}
+
+const KeyPair& test_ec_key() {
+  static const KeyPair key = KeyPair::generate(KeySpec::ec());
+  return key;
+}
+
+TEST(KeyPair, GenerateRsa) {
+  const KeyPair& key = test_rsa_key();
+  EXPECT_TRUE(key.valid());
+  EXPECT_TRUE(key.has_private());
+  EXPECT_EQ(key.type(), KeyType::kRsa);
+  EXPECT_EQ(key.bits(), 1024u);
+}
+
+TEST(KeyPair, GenerateEc) {
+  const KeyPair& key = test_ec_key();
+  EXPECT_TRUE(key.valid());
+  EXPECT_EQ(key.type(), KeyType::kEc);
+  EXPECT_EQ(key.bits(), 256u);
+}
+
+TEST(KeyPair, RejectsAbsurdRsaSizes) {
+  EXPECT_THROW((void)KeyPair::generate(KeySpec::rsa(128)), CryptoError);
+  EXPECT_THROW((void)KeyPair::generate(KeySpec::rsa(1 << 20)), CryptoError);
+}
+
+TEST(KeyPair, PrivatePemRoundTrip) {
+  const KeyPair& key = test_rsa_key();
+  const SecureBuffer pem = key.private_pem();
+  EXPECT_NE(pem.view().find("BEGIN PRIVATE KEY"), std::string_view::npos);
+  const KeyPair restored = KeyPair::from_private_pem(pem.view());
+  EXPECT_TRUE(restored.same_public_key(key));
+  EXPECT_TRUE(restored.has_private());
+}
+
+TEST(KeyPair, EncryptedPrivatePemRoundTrip) {
+  const KeyPair& key = test_ec_key();
+  const std::string pem = key.private_pem_encrypted("pass phrase");
+  EXPECT_NE(pem.find("BEGIN ENCRYPTED PRIVATE KEY"), std::string::npos);
+  const KeyPair restored = KeyPair::from_private_pem(pem, "pass phrase");
+  EXPECT_TRUE(restored.same_public_key(key));
+}
+
+TEST(KeyPair, EncryptedPemWrongPassphraseFails) {
+  const std::string pem = test_ec_key().private_pem_encrypted("right");
+  EXPECT_THROW((void)KeyPair::from_private_pem(pem, "wrong"), CryptoError);
+}
+
+TEST(KeyPair, RefusesEmptyEncryptionPassphrase) {
+  EXPECT_THROW((void)test_ec_key().private_pem_encrypted(""), CryptoError);
+}
+
+TEST(KeyPair, PublicPemRoundTrip) {
+  const KeyPair& key = test_rsa_key();
+  const KeyPair pub = KeyPair::from_public_pem(key.public_pem());
+  EXPECT_TRUE(pub.valid());
+  EXPECT_FALSE(pub.has_private());
+  EXPECT_TRUE(pub.same_public_key(key));
+  EXPECT_THROW((void)pub.private_pem(), CryptoError);
+}
+
+TEST(KeyPair, FromGarbagePemFails) {
+  EXPECT_THROW((void)KeyPair::from_private_pem("not a pem"), CryptoError);
+  EXPECT_THROW((void)KeyPair::from_public_pem("not a pem"), CryptoError);
+}
+
+TEST(KeyPair, DistinctKeysDiffer) {
+  const KeyPair other = KeyPair::generate(KeySpec::ec());
+  EXPECT_FALSE(other.same_public_key(test_ec_key()));
+}
+
+TEST(SignVerify, RsaRoundTrip) {
+  const KeyPair& key = test_rsa_key();
+  const auto sig = sign(key, "message");
+  EXPECT_TRUE(verify(key, "message", sig));
+  EXPECT_FALSE(verify(key, "Message", sig));
+}
+
+TEST(SignVerify, EcRoundTrip) {
+  const KeyPair& key = test_ec_key();
+  const auto sig = sign(key, "message");
+  EXPECT_TRUE(verify(key, "message", sig));
+}
+
+TEST(SignVerify, VerifyWithPublicHalfOnly) {
+  const KeyPair& key = test_rsa_key();
+  const auto sig = sign(key, "payload");
+  const KeyPair pub = KeyPair::from_public_pem(key.public_pem());
+  EXPECT_TRUE(verify(pub, "payload", sig));
+}
+
+TEST(SignVerify, WrongKeyRejected) {
+  const auto sig = sign(test_rsa_key(), "payload");
+  const KeyPair other = KeyPair::generate(KeySpec::rsa(1024));
+  EXPECT_FALSE(verify(other, "payload", sig));
+}
+
+TEST(SignVerify, CorruptedSignatureRejected) {
+  auto sig = sign(test_rsa_key(), "payload");
+  sig[sig.size() / 2] ^= 0x01;
+  EXPECT_FALSE(verify(test_rsa_key(), "payload", sig));
+}
+
+TEST(SignVerify, SigningWithoutPrivateKeyThrows) {
+  const KeyPair pub = KeyPair::from_public_pem(test_rsa_key().public_pem());
+  EXPECT_THROW((void)sign(pub, "payload"), CryptoError);
+}
+
+TEST(KeyPair, EmptyKeyOperationsThrow) {
+  const KeyPair empty;
+  EXPECT_FALSE(empty.valid());
+  EXPECT_THROW((void)empty.public_pem(), CryptoError);
+  EXPECT_THROW((void)empty.bits(), CryptoError);
+}
+
+}  // namespace
+}  // namespace myproxy::crypto

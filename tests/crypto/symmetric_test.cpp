@@ -1,0 +1,126 @@
+#include "crypto/symmetric.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "crypto/kdf.hpp"
+#include "crypto/random.hpp"
+
+namespace myproxy::crypto {
+namespace {
+
+TEST(Aead, SealOpenRoundTrip) {
+  const auto key = random_bytes(kAesKeySize);
+  const auto sealed = aead_seal(key, "plaintext payload", "user:alice");
+  const SecureBuffer opened = aead_open(key, sealed, "user:alice");
+  EXPECT_EQ(opened.view(), "plaintext payload");
+}
+
+TEST(Aead, EmptyPlaintext) {
+  const auto key = random_bytes(kAesKeySize);
+  const auto sealed = aead_seal(key, "", "aad");
+  EXPECT_EQ(aead_open(key, sealed, "aad").size(), 0u);
+}
+
+TEST(Aead, WrongKeyRejected) {
+  const auto key = random_bytes(kAesKeySize);
+  const auto other = random_bytes(kAesKeySize);
+  const auto sealed = aead_seal(key, "payload", "");
+  EXPECT_THROW((void)aead_open(other, sealed, ""), VerificationError);
+}
+
+TEST(Aead, WrongAadRejected) {
+  // The AAD binds a stored credential to its owner; a record copied between
+  // users must fail to open (paper §5.1 at-rest protection).
+  const auto key = random_bytes(kAesKeySize);
+  const auto sealed = aead_seal(key, "payload", "user:alice");
+  EXPECT_THROW((void)aead_open(key, sealed, "user:mallory"),
+               VerificationError);
+}
+
+TEST(Aead, TamperedCiphertextRejected) {
+  const auto key = random_bytes(kAesKeySize);
+  auto sealed = aead_seal(key, "payload", "");
+  sealed.back() ^= 0x01;
+  EXPECT_THROW((void)aead_open(key, sealed, ""), VerificationError);
+}
+
+TEST(Aead, TamperedTagRejected) {
+  const auto key = random_bytes(kAesKeySize);
+  auto sealed = aead_seal(key, "payload", "");
+  sealed[kGcmNonceSize] ^= 0x01;  // first tag byte
+  EXPECT_THROW((void)aead_open(key, sealed, ""), VerificationError);
+}
+
+TEST(Aead, TruncatedBlobRejected) {
+  const auto key = random_bytes(kAesKeySize);
+  EXPECT_THROW((void)aead_open(key, std::vector<std::uint8_t>(5), ""),
+               ParseError);
+}
+
+TEST(Aead, NonceIsFreshPerSeal) {
+  const auto key = random_bytes(kAesKeySize);
+  const auto a = aead_seal(key, "same", "");
+  const auto b = aead_seal(key, "same", "");
+  EXPECT_NE(a, b);  // distinct nonce -> distinct ciphertext
+}
+
+TEST(Pbkdf2, DeterministicForSameInputs) {
+  const auto salt = random_bytes(kEnvelopeSaltSize);
+  const auto k1 = pbkdf2("phrase", salt, 1000, kAesKeySize);
+  const auto k2 = pbkdf2("phrase", salt, 1000, kAesKeySize);
+  EXPECT_EQ(k1, k2);
+}
+
+TEST(Pbkdf2, SaltAndIterationsChangeKey) {
+  const auto salt1 = random_bytes(kEnvelopeSaltSize);
+  const auto salt2 = random_bytes(kEnvelopeSaltSize);
+  EXPECT_FALSE(pbkdf2("phrase", salt1, 1000, kAesKeySize) ==
+               pbkdf2("phrase", salt2, 1000, kAesKeySize));
+  EXPECT_FALSE(pbkdf2("phrase", salt1, 1000, kAesKeySize) ==
+               pbkdf2("phrase", salt1, 1001, kAesKeySize));
+}
+
+TEST(Pbkdf2, RejectsDegenerateParameters) {
+  const auto salt = random_bytes(kEnvelopeSaltSize);
+  EXPECT_THROW((void)pbkdf2("p", salt, 0, 32), CryptoError);
+  EXPECT_THROW((void)pbkdf2("p", salt, 100, 0), CryptoError);
+}
+
+TEST(Envelope, RoundTrip) {
+  const auto sealed =
+      passphrase_seal("correct horse", "-----BEGIN...-----", "alice", 1000);
+  EXPECT_TRUE(is_envelope(sealed));
+  const SecureBuffer opened = passphrase_open("correct horse", sealed, "alice");
+  EXPECT_EQ(opened.view(), "-----BEGIN...-----");
+}
+
+TEST(Envelope, WrongPassphraseRejected) {
+  const auto sealed = passphrase_seal("right", "data", "alice", 1000);
+  EXPECT_THROW((void)passphrase_open("wrong", sealed, "alice"),
+               VerificationError);
+}
+
+TEST(Envelope, WrongUserAadRejected) {
+  const auto sealed = passphrase_seal("phrase", "data", "alice", 1000);
+  EXPECT_THROW((void)passphrase_open("phrase", sealed, "bob"),
+               VerificationError);
+}
+
+TEST(Envelope, MalformedInputsRejected) {
+  std::vector<std::uint8_t> junk{'n', 'o', 'p', 'e'};
+  EXPECT_THROW((void)passphrase_open("p", junk, ""), ParseError);
+  auto sealed = passphrase_seal("p", "data", "", 1000);
+  sealed.resize(10);  // truncate below header size
+  EXPECT_THROW((void)passphrase_open("p", sealed, ""), ParseError);
+}
+
+TEST(Envelope, IterationCountPreserved) {
+  // Opening must honor the iteration count recorded in the envelope, so a
+  // server can raise the default without breaking old records.
+  const auto sealed = passphrase_seal("p", "data", "", 12345);
+  EXPECT_EQ(passphrase_open("p", sealed, "").view(), "data");
+}
+
+}  // namespace
+}  // namespace myproxy::crypto

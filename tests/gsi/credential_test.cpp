@@ -1,0 +1,107 @@
+#include "gsi/credential.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "gsi/gsi_fixtures.hpp"
+#include "gsi/proxy.hpp"
+
+namespace myproxy::gsi {
+namespace {
+
+using testing::make_user;
+
+TEST(Credential, LongTermBasics) {
+  const auto alice = make_user("cred-alice");
+  EXPECT_TRUE(alice.valid());
+  EXPECT_FALSE(alice.is_proxy());
+  EXPECT_EQ(alice.delegation_depth(), 0u);
+  EXPECT_EQ(alice.identity(), alice.subject());
+  EXPECT_EQ(alice.end_entity(), alice.certificate());
+  EXPECT_FALSE(alice.expired());
+}
+
+TEST(Credential, RejectsKeyCertMismatch) {
+  const auto alice = make_user("cred-mismatch-a");
+  const auto other_key = crypto::KeyPair::generate(crypto::KeySpec::ec());
+  EXPECT_THROW(Credential(alice.certificate(), other_key),
+               VerificationError);
+}
+
+TEST(Credential, RejectsPublicOnlyKey) {
+  const auto alice = make_user("cred-pubonly");
+  const auto pub =
+      crypto::KeyPair::from_public_pem(alice.key().public_pem());
+  EXPECT_THROW(Credential(alice.certificate(), pub), CryptoError);
+}
+
+TEST(Credential, PemRoundTripPlain) {
+  const auto alice = make_user("cred-pem-alice");
+  const SecureBuffer pem = alice.to_pem();
+  const Credential back = Credential::from_pem(pem.view());
+  EXPECT_EQ(back.certificate(), alice.certificate());
+  EXPECT_TRUE(back.key().same_public_key(alice.key()));
+}
+
+TEST(Credential, PemRoundTripEncrypted) {
+  const auto alice = make_user("cred-enc-alice");
+  const std::string pem = alice.to_pem_encrypted("hunter2 hunter2");
+  EXPECT_NE(pem.find("ENCRYPTED"), std::string::npos);
+  const Credential back = Credential::from_pem(pem, "hunter2 hunter2");
+  EXPECT_EQ(back.certificate(), alice.certificate());
+  EXPECT_THROW((void)Credential::from_pem(pem, "wrong"), CryptoError);
+}
+
+TEST(Credential, ProxyPemRoundTripKeepsChain) {
+  const auto alice = make_user("cred-proxychain-alice");
+  const auto proxy = create_proxy(alice);
+  const SecureBuffer pem = proxy.to_pem();
+  const Credential back = Credential::from_pem(pem.view());
+  EXPECT_TRUE(back.is_proxy());
+  ASSERT_EQ(back.chain().size(), 1u);
+  EXPECT_EQ(back.chain()[0], alice.certificate());
+  EXPECT_EQ(back.identity(), alice.identity());
+}
+
+TEST(Credential, FullChainLeafFirst) {
+  const auto alice = make_user("cred-chain-alice");
+  const auto proxy = create_proxy(alice);
+  const auto chain = proxy.full_chain();
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain[0], proxy.certificate());
+  EXPECT_EQ(chain[1], alice.certificate());
+}
+
+TEST(Credential, NotAfterIsTightestProxyBound) {
+  const auto alice = make_user("cred-na-alice", Seconds(30L * 24 * 3600));
+  ProxyOptions opts;
+  opts.lifetime = Seconds(3600);
+  const auto proxy = create_proxy(alice, opts);
+  EXPECT_LE(proxy.not_after(), now() + Seconds(3601));
+  EXPECT_GT(proxy.not_after(), now() + Seconds(3500));
+}
+
+TEST(Credential, ExpiredAfterClockWarp) {
+  const auto alice = make_user("cred-exp-alice");
+  ProxyOptions opts;
+  opts.lifetime = Seconds(60);
+  const auto proxy = create_proxy(alice, opts);
+  EXPECT_FALSE(proxy.expired());
+  const ScopedClockAdvance warp(Seconds(600));
+  EXPECT_TRUE(proxy.expired());
+}
+
+TEST(Credential, EndEntityThrowsWhenChainBroken) {
+  const auto alice = make_user("cred-broken-alice");
+  const auto proxy = create_proxy(alice);
+  // Construct a proxy credential whose chain omits the EEC.
+  const Credential broken(proxy.certificate(), proxy.key(), {});
+  EXPECT_THROW((void)broken.end_entity(), VerificationError);
+}
+
+TEST(Credential, FromPemRejectsGarbage) {
+  EXPECT_THROW((void)Credential::from_pem("junk"), Error);
+}
+
+}  // namespace
+}  // namespace myproxy::gsi

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "gsi/acl.hpp"
+#include "gsi/gridmap.hpp"
+
+namespace myproxy::gsi {
+namespace {
+
+TEST(Gridmap, ParseAndLookup) {
+  const auto map = Gridmap::parse(R"(
+# grid-mapfile
+"/C=US/O=Grid/CN=Alice" alice
+"/C=US/O=Grid/CN=Bob"   bob    # trailing comment
+)");
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_EQ(map.lookup("/C=US/O=Grid/CN=Alice"), "alice");
+  EXPECT_EQ(map.lookup("/C=US/O=Grid/CN=Bob"), "bob");
+  EXPECT_EQ(map.lookup("/C=US/O=Grid/CN=Eve"), std::nullopt);
+}
+
+TEST(Gridmap, LookupByDnObject) {
+  auto map = Gridmap();
+  map.add("/O=Grid/CN=Alice", "alice");
+  EXPECT_EQ(map.lookup(pki::DistinguishedName::parse("/O=Grid/CN=Alice")),
+            "alice");
+}
+
+TEST(Gridmap, GlobPatterns) {
+  auto map = Gridmap();
+  map.add("/O=Grid/OU=Robots/*", "robot");
+  EXPECT_EQ(map.lookup("/O=Grid/OU=Robots/CN=crawler-7"), "robot");
+  EXPECT_EQ(map.lookup("/O=Grid/OU=People/CN=alice"), std::nullopt);
+}
+
+TEST(Gridmap, ExactBeatsGlob) {
+  auto map = Gridmap();
+  map.add("/O=Grid/*", "generic");
+  map.add("/O=Grid/CN=Alice", "alice");  // added later but exact
+  EXPECT_EQ(map.lookup("/O=Grid/CN=Alice"), "alice");
+  EXPECT_EQ(map.lookup("/O=Grid/CN=Bob"), "generic");
+}
+
+TEST(Gridmap, FirstGlobWins) {
+  auto map = Gridmap();
+  map.add("/O=Grid/OU=A/*", "a");
+  map.add("/O=Grid/*", "any");
+  EXPECT_EQ(map.lookup("/O=Grid/OU=A/CN=x"), "a");
+}
+
+TEST(Gridmap, ParseRejectsMalformed) {
+  EXPECT_THROW(Gridmap::parse("/O=Grid/CN=Alice alice\n"), ParseError);
+  EXPECT_THROW(Gridmap::parse("\"/O=Grid/CN=Alice alice\n"), ParseError);
+  EXPECT_THROW(Gridmap::parse("\"/O=Grid/CN=Alice\"\n"), ParseError);
+  EXPECT_THROW(Gridmap::parse("\"\" user\n"), ParseError);
+  EXPECT_THROW(Gridmap::parse("\"/CN=x\" two words\n"), ParseError);
+}
+
+TEST(Gridmap, LoadMissingFileThrows) {
+  EXPECT_THROW(Gridmap::load("/nonexistent/gridmap"), IoError);
+}
+
+TEST(AccessControlList, EmptyDeniesEveryone) {
+  const AccessControlList acl;
+  EXPECT_FALSE(acl.allows("/O=Grid/CN=anyone"));
+}
+
+TEST(AccessControlList, ExactAndGlob) {
+  AccessControlList acl;
+  acl.add("/O=Grid/CN=portal-1");
+  acl.add("/O=Grid/OU=Portals/*");
+  EXPECT_TRUE(acl.allows("/O=Grid/CN=portal-1"));
+  EXPECT_TRUE(acl.allows("/O=Grid/OU=Portals/CN=portal-9"));
+  EXPECT_FALSE(acl.allows("/O=Grid/CN=portal-2"));
+  EXPECT_FALSE(acl.allows("/O=Evil/OU=Portals/CN=portal-9"));
+}
+
+TEST(AccessControlList, MatchesDnObject) {
+  AccessControlList acl({"/O=Grid/OU=People/*"});
+  EXPECT_TRUE(
+      acl.allows(pki::DistinguishedName::parse("/O=Grid/OU=People/CN=a")));
+  EXPECT_EQ(acl.size(), 1u);
+  EXPECT_FALSE(acl.empty());
+}
+
+TEST(AccessControlList, WildcardAllowsAll) {
+  AccessControlList acl({"*"});
+  EXPECT_TRUE(acl.allows("/anything=at all"));
+}
+
+}  // namespace
+}  // namespace myproxy::gsi

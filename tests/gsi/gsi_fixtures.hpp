@@ -1,0 +1,34 @@
+// Shared GSI test fixtures: a CA-backed user credential factory.
+#pragma once
+
+#include "gsi/credential.hpp"
+#include "pki/certificate_authority.hpp"
+#include "pki/distinguished_name.hpp"
+#include "pki/trust_store.hpp"
+
+namespace myproxy::gsi::testing {
+
+inline pki::CertificateAuthority& test_ca() {
+  static pki::CertificateAuthority ca = pki::CertificateAuthority::create(
+      pki::DistinguishedName::parse("/C=US/O=Grid/CN=GSI Test CA"),
+      crypto::KeySpec::ec());
+  return ca;
+}
+
+inline pki::TrustStore make_trust_store() {
+  pki::TrustStore store;
+  store.add_root(test_ca().certificate());
+  return store;
+}
+
+/// CA-issued long-term user credential.
+inline Credential make_user(const std::string& cn,
+                            Seconds lifetime = Seconds(30L * 24 * 3600)) {
+  const auto dn =
+      pki::DistinguishedName::parse("/C=US/O=Grid/OU=People/CN=" + cn);
+  auto key = crypto::KeyPair::generate(crypto::KeySpec::ec());
+  auto cert = test_ca().issue(dn, key, lifetime);
+  return Credential(std::move(cert), std::move(key));
+}
+
+}  // namespace myproxy::gsi::testing

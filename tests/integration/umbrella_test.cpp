@@ -1,0 +1,42 @@
+// Keeps the umbrella header honest: everything a downstream application
+// needs must be reachable through one include.
+#include "myproxy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(UmbrellaHeader, PublicApiReachable) {
+  using namespace myproxy;  // NOLINT(google-build-using-namespace)
+
+  // PKI + GSI types.
+  auto ca = pki::CertificateAuthority::create(
+      pki::DistinguishedName::parse("/O=Grid/CN=Umbrella CA"),
+      crypto::KeySpec::ec());
+  pki::TrustStore store;
+  store.add_root(ca.certificate());
+
+  auto key = crypto::KeyPair::generate(crypto::KeySpec::ec());
+  auto cert = ca.issue(pki::DistinguishedName::parse("/O=Grid/CN=user"), key,
+                       Seconds(3600));
+  const gsi::Credential credential(cert, key);
+  const gsi::Credential proxy = gsi::create_proxy(credential);
+  EXPECT_EQ(store.verify(proxy.full_chain()).identity,
+            credential.identity());
+
+  // Core types exist and are constructible.
+  repository::RepositoryPolicy policy;
+  policy.kdf_iterations = 100;
+  repository::Repository repo(
+      std::make_unique<repository::MemoryCredentialStore>(), policy);
+  EXPECT_EQ(repo.size(), 0u);
+
+  protocol::Request request;
+  request.username = "alice";
+  EXPECT_NO_THROW((void)protocol::Request::parse(request.serialize()));
+
+  gsi::AccessControlList acl({"*"});
+  EXPECT_TRUE(acl.allows(credential.identity()));
+}
+
+}  // namespace

@@ -1,0 +1,108 @@
+#include "net/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/error.hpp"
+#include "net/socket.hpp"
+
+namespace myproxy::net {
+namespace {
+
+TEST(FrameHeader, RoundTrip) {
+  for (const std::size_t size : {0u, 1u, 255u, 256u, 65535u, 1000000u}) {
+    EXPECT_EQ(decode_frame_header(encode_frame_header(size)), size);
+  }
+}
+
+TEST(FrameHeader, RejectsOversize) {
+  EXPECT_THROW((void)encode_frame_header(kMaxMessageSize + 1), ProtocolError);
+  // Forged header advertising a huge frame.
+  std::string header = "\x7f\xff\xff\xff";
+  EXPECT_THROW((void)decode_frame_header(header), ProtocolError);
+  EXPECT_THROW((void)decode_frame_header("abc"), ProtocolError);
+}
+
+TEST(PlainChannel, MessageRoundTrip) {
+  auto [a, b] = socket_pair();
+  PlainChannel left(std::move(a));
+  PlainChannel right(std::move(b));
+  left.send("hello");
+  EXPECT_EQ(right.receive(), "hello");
+  right.send("world");
+  EXPECT_EQ(left.receive(), "world");
+}
+
+TEST(PlainChannel, EmptyAndBinaryMessages) {
+  auto [a, b] = socket_pair();
+  PlainChannel left(std::move(a));
+  PlainChannel right(std::move(b));
+  left.send("");
+  EXPECT_EQ(right.receive(), "");
+  std::string binary(1024, '\0');
+  binary[17] = '\x7f';
+  left.send(binary);
+  EXPECT_EQ(right.receive(), binary);
+}
+
+TEST(PlainChannel, LargeMessage) {
+  auto [a, b] = socket_pair();
+  PlainChannel left(std::move(a));
+  PlainChannel right(std::move(b));
+  const std::string big(512 * 1024, 'x');
+  std::thread sender([&left, &big] { left.send(big); });
+  EXPECT_EQ(right.receive(), big);
+  sender.join();
+}
+
+TEST(PlainChannel, PeerCloseThrows) {
+  auto [a, b] = socket_pair();
+  PlainChannel left(std::move(a));
+  PlainChannel right(std::move(b));
+  left.close();
+  EXPECT_THROW((void)right.receive(), IoError);
+}
+
+TEST(Socket, ReadExactAcrossPartialWrites) {
+  auto [a, b] = socket_pair();
+  std::thread sender([&a] {
+    a.write_all("abc");
+    a.write_all("defgh");
+  });
+  EXPECT_EQ(b.read_exact(8), "abcdefgh");
+  sender.join();
+}
+
+TEST(TcpListener, AcceptConnectRoundTrip) {
+  TcpListener listener = TcpListener::bind(0);
+  ASSERT_GT(listener.port(), 0);
+  std::thread client([port = listener.port()] {
+    Socket socket = tcp_connect(port);
+    socket.write_all("ping");
+  });
+  Socket accepted = listener.accept();
+  EXPECT_EQ(accepted.read_exact(4), "ping");
+  client.join();
+}
+
+TEST(TcpListener, CloseUnblocksAccept) {
+  TcpListener listener = TcpListener::bind(0);
+  std::thread closer([&listener] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    listener.close();
+  });
+  EXPECT_THROW((void)listener.accept(), IoError);
+  closer.join();
+}
+
+TEST(Socket, MovedFromSocketIsInvalid) {
+  auto [a, b] = socket_pair();
+  Socket moved(std::move(a));
+  EXPECT_TRUE(moved.valid());
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move)
+  EXPECT_THROW(a.write_all("x"), IoError);
+}
+
+}  // namespace
+}  // namespace myproxy::net

@@ -1,0 +1,88 @@
+#include "pki/proxy_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace myproxy::pki {
+namespace {
+
+TEST(RestrictionPolicy, ParseAndRender) {
+  const auto p = RestrictionPolicy::parse("rights=job-submit,file-read");
+  EXPECT_EQ(p.rights, (std::vector<std::string>{"file-read", "job-submit"}));
+  EXPECT_EQ(p.str(), "rights=file-read,job-submit");
+}
+
+TEST(RestrictionPolicy, ParseNormalizes) {
+  // Whitespace, duplicates and ordering are normalized.
+  const auto p = RestrictionPolicy::parse("rights= b , a ,b,a ");
+  EXPECT_EQ(p.rights, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(RestrictionPolicy, EmptyRightsMeansNoRights) {
+  const auto p = RestrictionPolicy::parse("rights=");
+  EXPECT_TRUE(p.rights.empty());
+  EXPECT_FALSE(p.allows("anything"));
+}
+
+TEST(RestrictionPolicy, ParseRejectsMalformed) {
+  EXPECT_THROW(RestrictionPolicy::parse("no-prefix"), ParseError);
+  EXPECT_THROW(RestrictionPolicy::parse("rights=a=b"), ParseError);
+  EXPECT_THROW(RestrictionPolicy::parse("rights=a;b"), ParseError);
+}
+
+TEST(RestrictionPolicy, Allows) {
+  const auto p = RestrictionPolicy::parse("rights=x,y");
+  EXPECT_TRUE(p.allows("x"));
+  EXPECT_TRUE(p.allows("y"));
+  EXPECT_FALSE(p.allows("z"));
+  EXPECT_FALSE(p.allows(""));
+}
+
+TEST(RestrictionPolicy, IntersectIsCommutativeAndShrinking) {
+  const auto a = RestrictionPolicy::parse("rights=r1,r2,r3");
+  const auto b = RestrictionPolicy::parse("rights=r2,r3,r4");
+  const auto ab = a.intersect(b);
+  EXPECT_EQ(ab, b.intersect(a));
+  EXPECT_EQ(ab.rights, (std::vector<std::string>{"r2", "r3"}));
+  EXPECT_TRUE(a.intersect(RestrictionPolicy{}).rights.empty());
+}
+
+TEST(Compose, UnrestrictedChainStaysUnrestricted) {
+  EffectivePolicy chain;
+  chain = compose(chain, std::nullopt);
+  EXPECT_FALSE(chain.has_value());
+}
+
+TEST(Compose, FirstRestrictionApplies) {
+  EffectivePolicy chain;
+  chain = compose(chain, RestrictionPolicy::parse("rights=a,b"));
+  ASSERT_TRUE(chain.has_value());
+  EXPECT_TRUE(chain->allows("a"));
+}
+
+TEST(Compose, LaterUnrestrictedLinkCannotWiden) {
+  // A delegation step without a policy must not restore rights dropped by
+  // an earlier restricted step.
+  EffectivePolicy chain = RestrictionPolicy::parse("rights=a");
+  chain = compose(chain, std::nullopt);
+  ASSERT_TRUE(chain.has_value());
+  EXPECT_FALSE(chain->allows("b"));
+  EXPECT_TRUE(chain->allows("a"));
+}
+
+TEST(Compose, RestrictionsIntersect) {
+  EffectivePolicy chain = RestrictionPolicy::parse("rights=a,b");
+  chain = compose(chain, RestrictionPolicy::parse("rights=b,c"));
+  ASSERT_TRUE(chain.has_value());
+  EXPECT_EQ(chain->rights, (std::vector<std::string>{"b"}));
+}
+
+TEST(ProxyPolicyNid, StableAndRegistered) {
+  const int nid = proxy_policy_nid();
+  EXPECT_NE(nid, 0);
+  EXPECT_EQ(proxy_policy_nid(), nid);  // idempotent
+}
+
+}  // namespace
+}  // namespace myproxy::pki

@@ -1,0 +1,300 @@
+#include "pki/trust_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "pki/pki_fixtures.hpp"
+
+namespace myproxy::pki {
+namespace {
+
+using testing::make_identity;
+using testing::make_proxy_cert;
+using testing::test_ca;
+using testing::TestIdentity;
+
+class TrustStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override { store_.add_root(test_ca().certificate()); }
+  TrustStore store_;
+};
+
+TEST_F(TrustStoreTest, VerifiesEndEntityAlone) {
+  const auto alice = make_identity("ts-alice");
+  const auto id = store_.verify({{alice.cert}});
+  EXPECT_EQ(id.identity, alice.dn);
+  EXPECT_EQ(id.proxy_depth, 0u);
+  EXPECT_FALSE(id.limited);
+  EXPECT_FALSE(id.policy.has_value());
+  EXPECT_EQ(id.end_entity, alice.cert);
+}
+
+TEST_F(TrustStoreTest, VerifiesSingleProxy) {
+  const auto alice = make_identity("ts-proxy-alice");
+  const auto pkey = crypto::KeyPair::generate(crypto::KeySpec::ec());
+  const auto proxy = make_proxy_cert(alice, pkey);
+  const auto id = store_.verify({{proxy, alice.cert}});
+  EXPECT_EQ(id.identity, alice.dn);  // identity is the EEC, not the proxy
+  EXPECT_EQ(id.proxy_depth, 1u);
+  EXPECT_FALSE(id.limited);
+}
+
+TEST_F(TrustStoreTest, VerifiesChainedDelegation) {
+  // Paper §2.4: "delegation can be chained" — A delegates to B, B to C.
+  const auto alice = make_identity("ts-chain-alice");
+  TestIdentity hop1{alice.dn.with_cn(kProxyCn),
+                    crypto::KeyPair::generate(crypto::KeySpec::ec()),
+                    Certificate()};
+  hop1.cert = make_proxy_cert(alice, hop1.key, kProxyCn, Seconds(3000));
+  TestIdentity hop2{hop1.dn.with_cn(kProxyCn),
+                    crypto::KeyPair::generate(crypto::KeySpec::ec()),
+                    Certificate()};
+  hop2.cert = make_proxy_cert(hop1, hop2.key, kProxyCn, Seconds(2000));
+
+  const auto id = store_.verify({{hop2.cert, hop1.cert, alice.cert}});
+  EXPECT_EQ(id.identity, alice.dn);
+  EXPECT_EQ(id.proxy_depth, 2u);
+}
+
+TEST_F(TrustStoreTest, LimitedProxyPropagates) {
+  const auto alice = make_identity("ts-lim-alice");
+  const auto k1 = crypto::KeyPair::generate(crypto::KeySpec::ec());
+  const auto limited = make_proxy_cert(alice, k1, kLimitedProxyCn);
+  const auto id = store_.verify({{limited, alice.cert}});
+  EXPECT_TRUE(id.limited);
+}
+
+TEST_F(TrustStoreTest, RestrictionPoliciesIntersectAlongChain) {
+  const auto alice = make_identity("ts-restrict-alice");
+  TestIdentity hop1{alice.dn.with_cn(kProxyCn),
+                    crypto::KeyPair::generate(crypto::KeySpec::ec()),
+                    Certificate()};
+  hop1.cert = make_proxy_cert(
+      alice, hop1.key, kProxyCn, Seconds(3000),
+      RestrictionPolicy::parse("rights=file-read,job-submit,file-write"));
+  TestIdentity hop2{hop1.dn.with_cn(kProxyCn),
+                    crypto::KeyPair::generate(crypto::KeySpec::ec()),
+                    Certificate()};
+  hop2.cert =
+      make_proxy_cert(hop1, hop2.key, kProxyCn, Seconds(2000),
+                      RestrictionPolicy::parse("rights=file-read,job-cancel"));
+
+  const auto id = store_.verify({{hop2.cert, hop1.cert, alice.cert}});
+  ASSERT_TRUE(id.policy.has_value());
+  EXPECT_TRUE(id.policy->allows("file-read"));
+  EXPECT_FALSE(id.policy->allows("job-submit"));   // dropped by hop2
+  EXPECT_FALSE(id.policy->allows("job-cancel"));   // never granted by hop1
+  EXPECT_FALSE(id.policy->allows("file-write"));
+}
+
+TEST_F(TrustStoreTest, RejectsEmptyChain) {
+  EXPECT_THROW((void)store_.verify({}), VerificationError);
+}
+
+TEST_F(TrustStoreTest, RejectsUnknownRoot) {
+  const auto other_ca = CertificateAuthority::create(
+      DistinguishedName::parse("/O=Elsewhere/CN=Foreign CA"),
+      crypto::KeySpec::ec());
+  const auto key = crypto::KeyPair::generate(crypto::KeySpec::ec());
+  // Issue from a CA we never installed.
+  auto& ca = const_cast<CertificateAuthority&>(other_ca);
+  const auto cert =
+      ca.issue(DistinguishedName::parse("/O=Elsewhere/CN=eve"), key,
+               Seconds(3600));
+  EXPECT_THROW((void)store_.verify({{cert}}), VerificationError);
+}
+
+TEST_F(TrustStoreTest, RejectsExpiredProxy) {
+  const auto alice = make_identity("ts-exp-alice", Seconds(24 * 3600));
+  const auto pkey = crypto::KeyPair::generate(crypto::KeySpec::ec());
+  const auto proxy = make_proxy_cert(alice, pkey, kProxyCn, Seconds(600));
+  const ScopedClockAdvance warp(Seconds(1200));
+  EXPECT_THROW((void)store_.verify({{proxy, alice.cert}}), ExpiredError);
+}
+
+TEST_F(TrustStoreTest, RejectsExpiredEndEntity) {
+  const auto alice = make_identity("ts-expeec-alice", Seconds(600));
+  const ScopedClockAdvance warp(Seconds(1200));
+  EXPECT_THROW((void)store_.verify({{alice.cert}}), ExpiredError);
+}
+
+TEST_F(TrustStoreTest, RejectsProxyWithoutIssuerCert) {
+  const auto alice = make_identity("ts-noissuer-alice");
+  const auto pkey = crypto::KeyPair::generate(crypto::KeySpec::ec());
+  const auto proxy = make_proxy_cert(alice, pkey);
+  EXPECT_THROW((void)store_.verify({{proxy}}), VerificationError);
+}
+
+TEST_F(TrustStoreTest, RejectsProxySignedByWrongKey) {
+  const auto alice = make_identity("ts-forge-alice");
+  const auto mallory = make_identity("ts-forge-mallory");
+  const auto pkey = crypto::KeyPair::generate(crypto::KeySpec::ec());
+  // Proxy claims Alice's DN but is signed by Mallory's key.
+  const auto forged = CertificateBuilder()
+                          .subject(alice.dn.with_cn(kProxyCn))
+                          .issuer(alice.dn)
+                          .public_key(pkey)
+                          .lifetime(Seconds(3600))
+                          .sign(mallory.key);
+  EXPECT_THROW((void)store_.verify({{forged, alice.cert}}),
+               VerificationError);
+}
+
+TEST_F(TrustStoreTest, RejectsLifetimeNestingViolation) {
+  const auto alice = make_identity("ts-nest-alice", Seconds(3600));
+  const auto pkey = crypto::KeyPair::generate(crypto::KeySpec::ec());
+  const auto proxy =
+      make_proxy_cert(alice, pkey, kProxyCn, Seconds(8 * 3600));
+  EXPECT_THROW((void)store_.verify({{proxy, alice.cert}}),
+               VerificationError);
+  // With nesting disabled (ablation) the same chain verifies.
+  VerifyOptions lax;
+  lax.enforce_lifetime_nesting = false;
+  EXPECT_NO_THROW((void)store_.verify({{proxy, alice.cert}}, lax));
+}
+
+TEST_F(TrustStoreTest, RejectsOverDeepChain) {
+  const auto alice = make_identity("ts-deep-alice", Seconds(24 * 3600));
+  std::vector<Certificate> chain;
+  TestIdentity current = alice;
+  for (int depth = 0; depth < 4; ++depth) {
+    TestIdentity next{current.dn.with_cn(kProxyCn),
+                      crypto::KeyPair::generate(crypto::KeySpec::ec()),
+                      Certificate()};
+    next.cert = make_proxy_cert(current, next.key, kProxyCn,
+                                Seconds(3600 - depth * 100));
+    chain.insert(chain.begin(), next.cert);
+    current = next;
+  }
+  chain.push_back(alice.cert);
+  VerifyOptions strict;
+  strict.max_proxy_depth = 3;
+  EXPECT_THROW((void)store_.verify(chain, strict), VerificationError);
+  strict.max_proxy_depth = 4;
+  EXPECT_NO_THROW((void)store_.verify(chain, strict));
+}
+
+TEST_F(TrustStoreTest, RevokedCertificateRejected) {
+  const auto alice = make_identity("ts-revoked-alice");
+  test_ca().revoke(alice.cert);
+  store_.add_crl(test_ca().signed_crl());
+  EXPECT_THROW((void)store_.verify({{alice.cert}}), AuthorizationError);
+  // Revocation checking can be disabled (ablation).
+  VerifyOptions lax;
+  lax.check_revocation = false;
+  EXPECT_NO_THROW((void)store_.verify({{alice.cert}}, lax));
+}
+
+TEST_F(TrustStoreTest, CrlInstallRejectsBadSignature) {
+  auto crl = test_ca().signed_crl();
+  crl.list.serials.push_back("ff00ff00");
+  EXPECT_THROW(store_.add_crl(crl), VerificationError);
+}
+
+TEST_F(TrustStoreTest, CrlInstallRequiresMatchingRoot) {
+  const auto other = CertificateAuthority::create(
+      DistinguishedName::parse("/O=Nowhere/CN=Unknown CA"),
+      crypto::KeySpec::ec());
+  EXPECT_THROW(store_.add_crl(other.signed_crl()), NotFoundError);
+}
+
+TEST_F(TrustStoreTest, AddRootRejectsNonCa) {
+  const auto alice = make_identity("ts-root-alice");
+  EXPECT_THROW(store_.add_root(alice.cert), PolicyError);
+}
+
+TEST_F(TrustStoreTest, AddRootIsIdempotent) {
+  const auto count = store_.root_count();
+  store_.add_root(test_ca().certificate());
+  EXPECT_EQ(store_.root_count(), count);
+}
+
+TEST_F(TrustStoreTest, RejectsCaAsEndEntity) {
+  EXPECT_THROW((void)store_.verify({{test_ca().certificate()}}),
+               VerificationError);
+}
+
+TEST_F(TrustStoreTest, IntermediateCaChainVerifies) {
+  // Root (in store) -> intermediate CA (in chain) -> EEC.
+  const auto intermediate_key = crypto::KeyPair::generate(crypto::KeySpec::ec());
+  const auto intermediate_dn =
+      DistinguishedName::parse("/C=US/O=Grid/CN=Intermediate CA");
+  // Sign the intermediate with the *root's* key: reuse CertificateBuilder
+  // via a root-issued CA certificate.
+  const auto root_signed_intermediate = [&] {
+    // test_ca() only issues EECs; build the CA cert directly.
+    auto fresh_root = CertificateAuthority::create(
+        DistinguishedName::parse("/C=US/O=Grid/CN=Deep Root"),
+        crypto::KeySpec::ec());
+    // We need the root key, which the CA does not expose; instead build the
+    // whole chain manually with CertificateBuilder.
+    return fresh_root;
+  };
+  (void)root_signed_intermediate;
+
+  // Manual three-level chain with full key control.
+  const auto root_key = crypto::KeyPair::generate(crypto::KeySpec::ec());
+  const auto root_dn = DistinguishedName::parse("/C=US/O=Grid/CN=Root CA");
+  const auto root_cert = CertificateBuilder()
+                             .subject(root_dn)
+                             .issuer(root_dn)
+                             .public_key(root_key)
+                             .lifetime(Seconds(10L * 365 * 24 * 3600))
+                             .ca(true)
+                             .sign(root_key);
+  const auto intermediate_cert = CertificateBuilder()
+                                     .subject(intermediate_dn)
+                                     .issuer(root_dn)
+                                     .public_key(intermediate_key)
+                                     .lifetime(Seconds(5L * 365 * 24 * 3600))
+                                     .ca(true)
+                                     .sign(root_key);
+  const auto user_key = crypto::KeyPair::generate(crypto::KeySpec::ec());
+  const auto user_dn = DistinguishedName::parse("/C=US/O=Grid/CN=deep-user");
+  const auto user_cert = CertificateBuilder()
+                             .subject(user_dn)
+                             .issuer(intermediate_dn)
+                             .public_key(user_key)
+                             .lifetime(Seconds(24 * 3600))
+                             .sign(intermediate_key);
+
+  TrustStore store;
+  store.add_root(root_cert);
+  const auto id = store.verify({{user_cert, intermediate_cert}});
+  EXPECT_EQ(id.identity, user_dn);
+
+  // Without the intermediate in the chain, verification must fail (the
+  // store holds only roots).
+  EXPECT_THROW((void)store.verify({{user_cert}}), VerificationError);
+
+  // And a proxy of the deep user also verifies through the intermediate.
+  const auto proxy_key = crypto::KeyPair::generate(crypto::KeySpec::ec());
+  const auto proxy_cert = CertificateBuilder()
+                              .subject(user_dn.with_cn(kProxyCn))
+                              .issuer(user_dn)
+                              .public_key(proxy_key)
+                              .lifetime(Seconds(3600))
+                              .sign(user_key);
+  const auto proxied =
+      store.verify({{proxy_cert, user_cert, intermediate_cert}});
+  EXPECT_EQ(proxied.identity, user_dn);
+  EXPECT_EQ(proxied.proxy_depth, 1u);
+}
+
+TEST_F(TrustStoreTest, ExpiresAtIsTightestProxyBound) {
+  const auto alice = make_identity("ts-expat-alice", Seconds(24 * 3600));
+  TestIdentity hop1{alice.dn.with_cn(kProxyCn),
+                    crypto::KeyPair::generate(crypto::KeySpec::ec()),
+                    Certificate()};
+  hop1.cert = make_proxy_cert(alice, hop1.key, kProxyCn, Seconds(7200));
+  TestIdentity hop2{hop1.dn.with_cn(kProxyCn),
+                    crypto::KeyPair::generate(crypto::KeySpec::ec()),
+                    Certificate()};
+  hop2.cert = make_proxy_cert(hop1, hop2.key, kProxyCn, Seconds(600));
+
+  const auto id = store_.verify({{hop2.cert, hop1.cert, alice.cert}});
+  EXPECT_LE(id.expires_at, now() + Seconds(601));
+}
+
+}  // namespace
+}  // namespace myproxy::pki

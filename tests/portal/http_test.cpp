@@ -1,0 +1,109 @@
+#include "portal/http.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace myproxy::portal {
+namespace {
+
+TEST(HttpRequest, ParseGetWithHeaders) {
+  const auto request = parse_request(
+      "GET /home HTTP/1.1\r\n"
+      "Host: portal.grid.test\r\n"
+      "Cookie: MYPROXYSESSID=abc123; other=x\r\n"
+      "\r\n");
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.target, "/home");
+  EXPECT_EQ(request.version, "HTTP/1.1");
+  EXPECT_EQ(request.header("host"), "portal.grid.test");
+  EXPECT_EQ(request.header("HOST"), "portal.grid.test");  // case-insensitive
+  EXPECT_EQ(request.cookie("MYPROXYSESSID"), "abc123");
+  EXPECT_EQ(request.cookie("other"), "x");
+  EXPECT_EQ(request.cookie("missing"), std::nullopt);
+}
+
+TEST(HttpRequest, ParsePostWithFormBody) {
+  const auto request = parse_request(
+      "POST /login HTTP/1.1\r\n"
+      "Content-Type: application/x-www-form-urlencoded\r\n"
+      "Content-Length: 33\r\n"
+      "\r\n"
+      "username=alice&passphrase=p%40ss+1");
+  EXPECT_EQ(request.method, "POST");
+  const auto form = request.form();
+  EXPECT_EQ(form.at("username"), "alice");
+  EXPECT_EQ(form.at("passphrase"), "p@ss 1");
+}
+
+TEST(HttpRequest, SerializeParseRoundTrip) {
+  HttpRequest request;
+  request.method = "POST";
+  request.target = "/submit";
+  request.version = "HTTP/1.1";
+  request.headers["content-type"] = "application/x-www-form-urlencoded";
+  request.body = "command=hostname";
+  const auto back = parse_request(request.serialize());
+  EXPECT_EQ(back.method, "POST");
+  EXPECT_EQ(back.target, "/submit");
+  EXPECT_EQ(back.body, "command=hostname");
+  EXPECT_EQ(back.header("content-length"), "16");
+}
+
+TEST(HttpRequest, ParseRejectsMalformed) {
+  EXPECT_THROW(parse_request("no terminator"), ParseError);
+  EXPECT_THROW(parse_request("GARBAGE\r\n\r\n"), ParseError);
+  EXPECT_THROW(parse_request("GET /\r\nbadheader\r\n\r\n"), ParseError);
+}
+
+TEST(HttpResponse, SerializeParseRoundTrip) {
+  HttpResponse response = HttpResponse::html("<p>hello</p>");
+  response.headers["set-cookie"] = "SID=1; HttpOnly";
+  const auto back = parse_response(response.serialize());
+  EXPECT_EQ(back.status, 200);
+  EXPECT_EQ(back.body, "<p>hello</p>");
+  EXPECT_EQ(back.headers.at("set-cookie"), "SID=1; HttpOnly");
+  EXPECT_EQ(back.headers.at("content-length"), "12");
+}
+
+TEST(HttpResponse, RedirectAndError) {
+  const auto redirect = HttpResponse::redirect("/home");
+  EXPECT_EQ(redirect.status, 303);
+  EXPECT_EQ(redirect.headers.at("location"), "/home");
+  const auto error = HttpResponse::error(404, "Not Found", "<nope>");
+  EXPECT_EQ(error.status, 404);
+  // Message is HTML-escaped.
+  EXPECT_NE(error.body.find("&lt;nope&gt;"), std::string::npos);
+}
+
+TEST(UrlCodec, RoundTrip) {
+  const std::string original = "user name/with+weird &= chars%";
+  EXPECT_EQ(url_decode(url_encode(original)), original);
+  EXPECT_EQ(url_decode("a%20b"), "a b");
+  EXPECT_EQ(url_decode("a+b"), "a b");
+  EXPECT_EQ(url_encode(" "), "+");
+}
+
+TEST(UrlCodec, DecodeRejectsMalformed) {
+  EXPECT_THROW((void)url_decode("%"), ParseError);
+  EXPECT_THROW((void)url_decode("%2"), ParseError);
+  EXPECT_THROW((void)url_decode("%zz"), ParseError);
+}
+
+TEST(FormParsing, EdgeCases) {
+  EXPECT_TRUE(parse_form("").empty());
+  const auto form = parse_form("a=1&b=&novalue&c=x%3Dy");
+  EXPECT_EQ(form.at("a"), "1");
+  EXPECT_EQ(form.at("b"), "");
+  EXPECT_EQ(form.at("novalue"), "");
+  EXPECT_EQ(form.at("c"), "x=y");
+}
+
+TEST(HtmlEscape, EscapesDangerousCharacters) {
+  EXPECT_EQ(html_escape("<script>\"&'"),
+            "&lt;script&gt;&quot;&amp;&#39;");
+  EXPECT_EQ(html_escape("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace myproxy::portal

@@ -1,0 +1,81 @@
+#include "portal/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gsi/gsi_fixtures.hpp"
+#include "gsi/proxy.hpp"
+
+namespace myproxy::portal {
+namespace {
+
+using gsi::testing::make_user;
+
+gsi::Credential session_credential(Seconds lifetime = Seconds(7200)) {
+  static const gsi::Credential user = make_user("session-user");
+  gsi::ProxyOptions options;
+  options.lifetime = lifetime;
+  return gsi::create_proxy(user, options);
+}
+
+TEST(SessionManager, CreateFindDestroy) {
+  SessionManager sessions;
+  const std::string id = sessions.create("alice", session_credential());
+  EXPECT_EQ(sessions.size(), 1u);
+
+  const auto found = sessions.find(id);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->username, "alice");
+  EXPECT_TRUE(found->credential.is_proxy());
+
+  EXPECT_TRUE(sessions.destroy(id));
+  EXPECT_FALSE(sessions.find(id).has_value());
+  EXPECT_FALSE(sessions.destroy(id));
+  EXPECT_EQ(sessions.size(), 0u);
+}
+
+TEST(SessionManager, IdsAreUnpredictableAndUnique) {
+  SessionManager sessions;
+  const std::string a = sessions.create("alice", session_credential());
+  const std::string b = sessions.create("alice", session_credential());
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.size(), 32u);  // 128 bits hex
+}
+
+TEST(SessionManager, UnknownIdNotFound) {
+  SessionManager sessions;
+  EXPECT_FALSE(sessions.find("bogus").has_value());
+}
+
+TEST(SessionManager, ExpiresWithCredential) {
+  // §4.3: "If a user forgets to log off, than the credential will expire at
+  // the lifetime specified".
+  SessionManager sessions(Seconds(24 * 3600));
+  const std::string id =
+      sessions.create("alice", session_credential(Seconds(60)));
+  ASSERT_TRUE(sessions.find(id).has_value());
+  const ScopedClockAdvance warp(Seconds(120));
+  EXPECT_FALSE(sessions.find(id).has_value());
+  EXPECT_EQ(sessions.size(), 0u);  // dropped on access
+}
+
+TEST(SessionManager, IdleLimitCapsSession) {
+  SessionManager sessions(Seconds(30));
+  const std::string id =
+      sessions.create("alice", session_credential(Seconds(7200)));
+  const ScopedClockAdvance warp(Seconds(60));
+  EXPECT_FALSE(sessions.find(id).has_value());
+}
+
+TEST(SessionManager, SweepDropsExpired) {
+  SessionManager sessions(Seconds(24 * 3600));
+  (void)sessions.create("a", session_credential(Seconds(30)));
+  (void)sessions.create("b", session_credential(Seconds(7200)));
+  {
+    const ScopedClockAdvance warp(Seconds(60));
+    EXPECT_EQ(sessions.sweep(), 1u);
+  }
+  EXPECT_EQ(sessions.size(), 1u);
+}
+
+}  // namespace
+}  // namespace myproxy::portal

@@ -1,0 +1,131 @@
+// Parameterized sweep over delegation-chain shapes: every combination of
+// depth, limited-link position, and restricted-link position must verify to
+// the same identity with the right effective flags — the invariants §2.3,
+// §2.4 and §6.5 rest on.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "gsi/gsi_fixtures.hpp"
+#include "gsi/proxy.hpp"
+#include "pki/trust_store.hpp"
+
+namespace myproxy::gsi {
+namespace {
+
+using testing::make_trust_store;
+using testing::make_user;
+
+struct ChainShape {
+  int depth;            // number of proxy links, 1..4
+  int limited_at;       // link index that is limited, -1 = none
+  int restricted_at;    // link index carrying a policy, -1 = none
+};
+
+std::string shape_name(const ::testing::TestParamInfo<ChainShape>& info) {
+  const auto& s = info.param;
+  std::string name = "depth" + std::to_string(s.depth);
+  name += s.limited_at < 0 ? "_nolim" : "_lim" + std::to_string(s.limited_at);
+  name += s.restricted_at < 0 ? "_nores"
+                              : "_res" + std::to_string(s.restricted_at);
+  return name;
+}
+
+class ChainShapes : public ::testing::TestWithParam<ChainShape> {};
+
+TEST_P(ChainShapes, VerifiesWithExpectedProperties) {
+  const ChainShape shape = GetParam();
+  const Credential user = make_user("chainprop-user");
+
+  Credential current = user;
+  for (int link = 0; link < shape.depth; ++link) {
+    ProxyOptions options;
+    options.lifetime = Seconds(3600 - link * 60);  // nesting holds
+    options.limited = (link == shape.limited_at);
+    if (link == shape.restricted_at) {
+      options.restriction =
+          pki::RestrictionPolicy::parse("rights=file-read,job-submit");
+    }
+    current = create_proxy(current, options);
+  }
+
+  const auto store = make_trust_store();
+  const auto id = store.verify(current.full_chain());
+
+  // Invariant 1: the Grid identity is always the EEC's DN.
+  EXPECT_EQ(id.identity, user.identity());
+  // Invariant 2: reported depth matches construction.
+  EXPECT_EQ(id.proxy_depth, static_cast<std::size_t>(shape.depth));
+  // Invariant 3: one limited link anywhere poisons the whole chain.
+  EXPECT_EQ(id.limited, shape.limited_at >= 0);
+  // Invariant 4: a restriction anywhere applies to the whole chain.
+  if (shape.restricted_at >= 0) {
+    ASSERT_TRUE(id.policy.has_value());
+    EXPECT_TRUE(id.policy->allows("file-read"));
+    EXPECT_FALSE(id.policy->allows("file-write"));
+  } else {
+    EXPECT_FALSE(id.policy.has_value());
+  }
+  // Invariant 5: the credential's own view agrees with the verifier's.
+  EXPECT_EQ(current.delegation_depth(),
+            static_cast<std::size_t>(shape.depth));
+  EXPECT_EQ(current.identity(), user.identity());
+}
+
+std::vector<ChainShape> all_shapes() {
+  std::vector<ChainShape> shapes;
+  for (int depth = 1; depth <= 4; ++depth) {
+    for (int limited = -1; limited < depth; ++limited) {
+      for (int restricted = -1; restricted < depth; ++restricted) {
+        shapes.push_back({depth, limited, restricted});
+      }
+    }
+  }
+  return shapes;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShapes, ChainShapes,
+                         ::testing::ValuesIn(all_shapes()), shape_name);
+
+TEST(ChainTruncation, DroppingAnyInnerCertificateBreaksVerification) {
+  // Removing any certificate from the middle of a chain must fail — no
+  // "skipping" of delegation hops.
+  const Credential user = make_user("chaintrunc-user");
+  Credential current = user;
+  for (int link = 0; link < 3; ++link) {
+    ProxyOptions options;
+    options.lifetime = Seconds(3600 - link * 60);
+    current = create_proxy(current, options);
+  }
+  const auto full = current.full_chain();
+  const auto store = make_trust_store();
+  ASSERT_NO_THROW((void)store.verify(full));
+
+  for (std::size_t drop = 1; drop + 1 < full.size(); ++drop) {
+    auto truncated = full;
+    truncated.erase(truncated.begin() + static_cast<std::ptrdiff_t>(drop));
+    EXPECT_THROW((void)store.verify(truncated), Error)
+        << "chain verified after dropping certificate " << drop;
+  }
+}
+
+TEST(ChainReordering, ShuffledChainRejected) {
+  const Credential user = make_user("chainshuffle-user");
+  ProxyOptions options;
+  options.lifetime = Seconds(3000);
+  const Credential hop1 = create_proxy(user, options);
+  options.lifetime = Seconds(2000);
+  const Credential hop2 = create_proxy(hop1, options);
+
+  const auto store = make_trust_store();
+  // Correct order verifies.
+  ASSERT_NO_THROW((void)store.verify(hop2.full_chain()));
+  // Swapped proxy order must fail.
+  std::vector<pki::Certificate> shuffled{hop1.certificate(),
+                                         hop2.certificate(),
+                                         user.certificate()};
+  EXPECT_THROW((void)store.verify(shuffled), Error);
+}
+
+}  // namespace
+}  // namespace myproxy::gsi

@@ -1,0 +1,161 @@
+// Property-style suites over the codecs and parsers: randomized round trips
+// and adversarial mutations. Seeds are fixed so failures reproduce.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "common/encoding.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "crypto/symmetric.hpp"
+#include "net/channel.hpp"
+#include "pki/distinguished_name.hpp"
+#include "protocol/message.hpp"
+
+namespace myproxy {
+namespace {
+
+std::string random_text(std::mt19937& rng, std::size_t max_len,
+                        bool printable_only) {
+  std::uniform_int_distribution<std::size_t> len_dist(0, max_len);
+  const std::size_t len = len_dist(rng);
+  std::string out;
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    if (printable_only) {
+      std::uniform_int_distribution<int> dist(0x20, 0x7e);
+      out += static_cast<char>(dist(rng));
+    } else {
+      std::uniform_int_distribution<int> dist(0, 255);
+      out += static_cast<char>(dist(rng));
+    }
+  }
+  return out;
+}
+
+class SeededProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SeededProperty, Base64RoundTripsArbitraryBytes) {
+  std::mt19937 rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    const std::string data = random_text(rng, 300, false);
+    EXPECT_EQ(encoding::base64_decode_string(encoding::base64_encode(data)),
+              data);
+  }
+}
+
+TEST_P(SeededProperty, HexRoundTripsArbitraryBytes) {
+  std::mt19937 rng(GetParam() + 1);
+  for (int i = 0; i < 50; ++i) {
+    const auto data = encoding::to_bytes(random_text(rng, 300, false));
+    EXPECT_EQ(encoding::hex_decode(encoding::hex_encode(data)), data);
+  }
+}
+
+TEST_P(SeededProperty, RequestRoundTripsRandomFields) {
+  std::mt19937 rng(GetParam() + 2);
+  for (int i = 0; i < 30; ++i) {
+    protocol::Request request;
+    request.command = static_cast<protocol::Command>(
+        std::uniform_int_distribution<int>(0, 8)(rng));
+    // Newlines are the only forbidden byte in wire fields.
+    const auto field = [&rng](std::size_t n) {
+      std::string s = random_text(rng, n, true);
+      for (auto& c : s) {
+        if (c == '\n' || c == '\r') c = '_';
+      }
+      return s;
+    };
+    request.username = field(40);
+    request.passphrase = field(60);
+    request.credential_name = field(20);
+    request.lifetime =
+        Seconds(std::uniform_int_distribution<int>(0, 1 << 20)(rng));
+    request.want_limited = (rng() % 2) == 0;
+    if (rng() % 2 == 0) request.restriction = "rights=" + field(10);
+    const auto back = protocol::Request::parse(request.serialize());
+    EXPECT_EQ(back.command, request.command);
+    EXPECT_EQ(back.username, request.username);
+    EXPECT_EQ(back.passphrase, request.passphrase);
+    EXPECT_EQ(back.credential_name, request.credential_name);
+    EXPECT_EQ(back.lifetime, request.lifetime);
+    EXPECT_EQ(back.want_limited, request.want_limited);
+    EXPECT_EQ(back.restriction, request.restriction);
+  }
+}
+
+TEST_P(SeededProperty, EnvelopeNeverOpensAfterMutation) {
+  std::mt19937 rng(GetParam() + 3);
+  const auto sealed =
+      crypto::passphrase_seal("phrase here", "precious key bytes", "aad", 200);
+  for (int i = 0; i < 60; ++i) {
+    auto mutated = sealed;
+    switch (rng() % 3) {
+      case 0: {  // flip one bit
+        const std::size_t pos = rng() % mutated.size();
+        mutated[pos] ^= static_cast<std::uint8_t>(1u << (rng() % 8));
+        break;
+      }
+      case 1: {  // truncate
+        mutated.resize(rng() % mutated.size());
+        break;
+      }
+      default: {  // append junk
+        mutated.push_back(static_cast<std::uint8_t>(rng()));
+        break;
+      }
+    }
+    if (mutated == sealed) continue;
+    EXPECT_THROW((void)crypto::passphrase_open("phrase here", mutated, "aad"),
+                 Error)
+        << "mutation " << i << " unexpectedly opened";
+  }
+}
+
+TEST_P(SeededProperty, FrameHeaderRoundTripsRandomSizes) {
+  std::mt19937 rng(GetParam() + 4);
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t size = rng() % (net::kMaxMessageSize + 1);
+    EXPECT_EQ(net::decode_frame_header(net::encode_frame_header(size)), size);
+  }
+}
+
+TEST_P(SeededProperty, GlobSelfMatchAndPrefixStar) {
+  std::mt19937 rng(GetParam() + 5);
+  for (int i = 0; i < 100; ++i) {
+    std::string text = random_text(rng, 60, true);
+    // Remove wildcard metacharacters for the self-match property.
+    for (auto& c : text) {
+      if (c == '*' || c == '?') c = 'x';
+    }
+    EXPECT_TRUE(strings::glob_match(text, text));
+    if (!text.empty()) {
+      const std::size_t cut = rng() % text.size();
+      EXPECT_TRUE(strings::glob_match(text.substr(0, cut) + "*", text));
+      EXPECT_TRUE(strings::glob_match("*" + text.substr(cut), text));
+    }
+  }
+}
+
+TEST_P(SeededProperty, DnRoundTripsRandomValues) {
+  std::mt19937 rng(GetParam() + 6);
+  const std::vector<std::string> attrs{"C", "O", "OU", "CN", "L", "ST"};
+  for (int i = 0; i < 40; ++i) {
+    std::vector<pki::DistinguishedName::Component> components;
+    const std::size_t n = 1 + rng() % 5;
+    for (std::size_t j = 0; j < n; ++j) {
+      std::string value = random_text(rng, 24, true);
+      if (value.empty()) value = "v";
+      components.emplace_back(attrs[rng() % attrs.size()], value);
+    }
+    const pki::DistinguishedName dn(components);
+    EXPECT_EQ(pki::DistinguishedName::parse(dn.str()), dn)
+        << "dn=" << dn.str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1u, 42u, 1234u, 987654u));
+
+}  // namespace
+}  // namespace myproxy

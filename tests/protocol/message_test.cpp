@@ -1,0 +1,124 @@
+#include "protocol/message.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace myproxy::protocol {
+namespace {
+
+TEST(Request, SerializeParseRoundTrip) {
+  Request request;
+  request.command = Command::kPut;
+  request.username = "alice";
+  request.passphrase = "correct horse=battery";  // '=' in value survives
+  request.auth_mode = AuthMode::kOtp;
+  request.lifetime = Seconds(43200);
+  request.credential_name = "compute";
+  request.new_passphrase = "next phrase";
+  request.retriever_patterns = {"/O=Grid/CN=portal-*", "/O=Grid/CN=p2"};
+  request.renewer_patterns = {"/O=Grid/CN=condor"};
+  request.want_limited = true;
+  request.restriction = "rights=job-submit";
+  request.task = "transfer";
+
+  const Request back = Request::parse(request.serialize());
+  EXPECT_EQ(back.command, Command::kPut);
+  EXPECT_EQ(back.username, "alice");
+  EXPECT_EQ(back.passphrase, "correct horse=battery");
+  EXPECT_EQ(back.auth_mode, AuthMode::kOtp);
+  EXPECT_EQ(back.lifetime, Seconds(43200));
+  EXPECT_EQ(back.credential_name, "compute");
+  EXPECT_EQ(back.new_passphrase, "next phrase");
+  EXPECT_EQ(back.retriever_patterns, request.retriever_patterns);
+  EXPECT_EQ(back.renewer_patterns, request.renewer_patterns);
+  EXPECT_TRUE(back.want_limited);
+  EXPECT_EQ(back.restriction, request.restriction);
+  EXPECT_EQ(back.task, "transfer");
+}
+
+TEST(Request, DefaultsSurviveRoundTrip) {
+  Request request;
+  request.username = "bob";
+  const Request back = Request::parse(request.serialize());
+  EXPECT_EQ(back.command, Command::kGet);
+  EXPECT_EQ(back.auth_mode, AuthMode::kPassphrase);
+  EXPECT_EQ(back.lifetime, Seconds(0));
+  EXPECT_FALSE(back.want_limited);
+  EXPECT_FALSE(back.restriction.has_value());
+  EXPECT_TRUE(back.credential_name.empty());
+}
+
+TEST(Request, ParseRejectsMalformed) {
+  EXPECT_THROW(Request::parse("no equals sign"), ProtocolError);
+  EXPECT_THROW(Request::parse("COMMAND=0\n"), ProtocolError);  // no VERSION
+  EXPECT_THROW(Request::parse("VERSION=MYPROXYv2\n"), ProtocolError);
+  EXPECT_THROW(Request::parse("VERSION=MYPROXYv1\nCOMMAND=0\n"),
+               ProtocolError);
+  EXPECT_THROW(Request::parse("VERSION=MYPROXYv2\nCOMMAND=99\n"),
+               ProtocolError);
+  EXPECT_THROW(Request::parse("VERSION=MYPROXYv2\nCOMMAND=abc\n"),
+               ProtocolError);
+  EXPECT_THROW(Request::parse("VERSION=MYPROXYv2\nCOMMAND=0\nLIFETIME=-1\n"),
+               ProtocolError);
+  EXPECT_THROW(
+      Request::parse("VERSION=MYPROXYv2\nCOMMAND=0\nAUTH_MODE=magic\n"),
+      ProtocolError);
+}
+
+TEST(Request, UnknownKeysIgnoredForForwardCompatibility) {
+  const Request back = Request::parse(
+      "VERSION=MYPROXYv2\nCOMMAND=0\nUSERNAME=x\nFUTURE_FIELD=hello\n");
+  EXPECT_EQ(back.username, "x");
+}
+
+TEST(Request, SerializeRejectsNewlineInjection) {
+  Request request;
+  request.username = "alice\nCOMMAND=3";  // attempt to smuggle a DESTROY
+  EXPECT_THROW((void)request.serialize(), ProtocolError);
+}
+
+TEST(Response, OkRoundTrip) {
+  const Response back = Response::parse(Response::make_ok().serialize());
+  EXPECT_TRUE(back.ok());
+  EXPECT_TRUE(back.error.empty());
+}
+
+TEST(Response, ErrorRoundTrip) {
+  const Response back =
+      Response::parse(Response::make_error("bad pass phrase").serialize());
+  EXPECT_FALSE(back.ok());
+  EXPECT_EQ(back.error, "bad pass phrase");
+}
+
+TEST(Response, FieldsRoundTripIncludingMultiValue) {
+  Response response;
+  response.fields["NAMES"] = "a\x1f"
+                             "b\x1f"
+                             "c";
+  response.fields["OWNER"] = "/O=Grid/CN=alice";
+  const Response back = Response::parse(response.serialize());
+  EXPECT_EQ(back.fields.at("NAMES"),
+            "a\x1f"
+            "b\x1f"
+            "c");
+  EXPECT_EQ(back.fields.at("OWNER"), "/O=Grid/CN=alice");
+}
+
+TEST(Response, ParseRejectsMalformed) {
+  EXPECT_THROW(Response::parse(""), ProtocolError);
+  EXPECT_THROW(Response::parse("VERSION=MYPROXYv2\n"), ProtocolError);
+  EXPECT_THROW(Response::parse("VERSION=MYPROXYv2\nRESPONSE=7\n"),
+               ProtocolError);
+  EXPECT_THROW(Response::parse("RESPONSE=0\n"), ProtocolError);
+}
+
+TEST(CommandNames, Stable) {
+  EXPECT_EQ(to_string(Command::kGet), "GET");
+  EXPECT_EQ(to_string(Command::kPut), "PUT");
+  EXPECT_EQ(to_string(Command::kRenew), "RENEW");
+  EXPECT_EQ(to_string(AuthMode::kOtp), "otp");
+}
+
+}  // namespace
+}  // namespace myproxy::protocol

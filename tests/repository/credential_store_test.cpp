@@ -1,0 +1,205 @@
+#include "repository/credential_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/error.hpp"
+
+namespace myproxy::repository {
+namespace {
+
+CredentialRecord make_record(std::string username, std::string name = "") {
+  CredentialRecord record;
+  record.username = std::move(username);
+  record.name = std::move(name);
+  record.owner_dn = "/O=Grid/CN=" + record.username;
+  record.blob = {1, 2, 3, 4, 5};
+  record.sealing = Sealing::kPassphrase;
+  record.created_at = now();
+  record.not_after = now() + Seconds(3600);
+  record.max_delegation_lifetime = Seconds(600);
+  return record;
+}
+
+TEST(CredentialRecord, SerializeParseRoundTrip) {
+  CredentialRecord record = make_record("alice", "compute");
+  record.retriever_patterns = {"/O=Grid/CN=p1", "/O=Grid/CN=p2"};
+  record.renewer_patterns = {"/O=Grid/CN=condor"};
+  record.always_limited = true;
+  record.restriction = "rights=job-submit";
+  record.task_tags = "compute,transfer";
+  record.otp = OtpState{"abcd", 7};
+  record.sealing = Sealing::kMasterKey;
+  record.passphrase_digest = "beef";
+
+  const CredentialRecord back = CredentialRecord::parse(record.serialize());
+  EXPECT_EQ(back.username, "alice");
+  EXPECT_EQ(back.name, "compute");
+  EXPECT_EQ(back.owner_dn, record.owner_dn);
+  EXPECT_EQ(back.blob, record.blob);
+  EXPECT_EQ(back.sealing, Sealing::kMasterKey);
+  EXPECT_EQ(back.passphrase_digest, "beef");
+  EXPECT_EQ(back.retriever_patterns, record.retriever_patterns);
+  EXPECT_EQ(back.renewer_patterns, record.renewer_patterns);
+  EXPECT_TRUE(back.always_limited);
+  EXPECT_EQ(back.restriction, record.restriction);
+  EXPECT_EQ(back.task_tags, "compute,transfer");
+  ASSERT_TRUE(back.otp.has_value());
+  EXPECT_EQ(back.otp->current_hex, "abcd");
+  EXPECT_EQ(back.otp->remaining, 7u);
+  EXPECT_EQ(to_unix(back.created_at), to_unix(record.created_at));
+  EXPECT_EQ(to_unix(back.not_after), to_unix(record.not_after));
+}
+
+TEST(CredentialRecord, UsernameWithSpecialCharactersSurvives) {
+  // Usernames are user-chosen (§4.1) and may contain anything.
+  CredentialRecord record = make_record("alice smith\nx=1", "a/b c");
+  record.owner_dn = "/O=Grid/CN=alice";  // DNs themselves never hold newlines
+  const CredentialRecord back = CredentialRecord::parse(record.serialize());
+  EXPECT_EQ(back.username, "alice smith\nx=1");
+  EXPECT_EQ(back.name, "a/b c");
+}
+
+TEST(CredentialRecord, ParseRejectsMalformed) {
+  EXPECT_THROW(CredentialRecord::parse("bogus"), ParseError);
+  EXPECT_THROW(CredentialRecord::parse("myproxy-record-v1\n"), ParseError);
+  EXPECT_THROW(
+      CredentialRecord::parse("myproxy-record-v1\nunknown_field x\nblob \n"),
+      ParseError);
+  // Partial OTP state.
+  CredentialRecord record = make_record("x");
+  std::string text = record.serialize();
+  text += "otp_current deadbeef\n";
+  EXPECT_THROW(CredentialRecord::parse(text), ParseError);
+}
+
+template <typename StoreT>
+std::unique_ptr<CredentialStore> make_store(const std::string& dir);
+
+template <>
+std::unique_ptr<CredentialStore> make_store<MemoryCredentialStore>(
+    const std::string&) {
+  return std::make_unique<MemoryCredentialStore>();
+}
+
+template <>
+std::unique_ptr<CredentialStore> make_store<FileCredentialStore>(
+    const std::string& dir) {
+  return std::make_unique<FileCredentialStore>(dir);
+}
+
+template <typename StoreT>
+class CredentialStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("myproxy-store-test-" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+    std::filesystem::remove_all(dir_);
+    store_ = make_store<StoreT>(dir_.string());
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+  std::unique_ptr<CredentialStore> store_;
+};
+
+using StoreTypes = ::testing::Types<MemoryCredentialStore, FileCredentialStore>;
+TYPED_TEST_SUITE(CredentialStoreTest, StoreTypes);
+
+TYPED_TEST(CredentialStoreTest, PutGetRoundTrip) {
+  this->store_->put(make_record("alice"));
+  const auto got = this->store_->get("alice", "");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->username, "alice");
+  EXPECT_EQ(got->blob, (std::vector<std::uint8_t>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(this->store_->size(), 1u);
+}
+
+TYPED_TEST(CredentialStoreTest, GetMissingReturnsNullopt) {
+  EXPECT_FALSE(this->store_->get("nobody", "").has_value());
+}
+
+TYPED_TEST(CredentialStoreTest, PutReplacesExistingRecord) {
+  this->store_->put(make_record("alice"));
+  CredentialRecord updated = make_record("alice");
+  updated.blob = {9, 9};
+  this->store_->put(updated);
+  EXPECT_EQ(this->store_->size(), 1u);
+  EXPECT_EQ(this->store_->get("alice", "")->blob,
+            (std::vector<std::uint8_t>{9, 9}));
+}
+
+TYPED_TEST(CredentialStoreTest, WalletSlotsAreIndependent) {
+  this->store_->put(make_record("alice"));
+  this->store_->put(make_record("alice", "compute"));
+  this->store_->put(make_record("alice", "transfer"));
+  EXPECT_EQ(this->store_->size(), 3u);
+  EXPECT_EQ(this->store_->list("alice").size(), 3u);
+  EXPECT_TRUE(this->store_->remove("alice", "compute"));
+  EXPECT_FALSE(this->store_->get("alice", "compute").has_value());
+  EXPECT_TRUE(this->store_->get("alice", "transfer").has_value());
+}
+
+TYPED_TEST(CredentialStoreTest, UsersAreIsolated) {
+  this->store_->put(make_record("alice"));
+  this->store_->put(make_record("bob"));
+  EXPECT_EQ(this->store_->list("alice").size(), 1u);
+  EXPECT_EQ(this->store_->list("bob").size(), 1u);
+  EXPECT_EQ(this->store_->remove_all("alice"), 1u);
+  EXPECT_FALSE(this->store_->get("alice", "").has_value());
+  EXPECT_TRUE(this->store_->get("bob", "").has_value());
+}
+
+TYPED_TEST(CredentialStoreTest, RemoveMissingReturnsFalse) {
+  EXPECT_FALSE(this->store_->remove("nobody", ""));
+  EXPECT_EQ(this->store_->remove_all("nobody"), 0u);
+}
+
+TYPED_TEST(CredentialStoreTest, SweepRemovesOnlyExpired) {
+  CredentialRecord fresh = make_record("fresh");
+  CredentialRecord stale = make_record("stale");
+  stale.not_after = now() - Seconds(10);
+  this->store_->put(fresh);
+  this->store_->put(stale);
+  EXPECT_EQ(this->store_->sweep_expired(), 1u);
+  EXPECT_TRUE(this->store_->get("fresh", "").has_value());
+  EXPECT_FALSE(this->store_->get("stale", "").has_value());
+}
+
+TEST(FileCredentialStore, PersistsAcrossInstances) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "myproxy-persist-test";
+  std::filesystem::remove_all(dir);
+  {
+    FileCredentialStore store(dir);
+    store.put(make_record("alice", "slot"));
+  }
+  {
+    FileCredentialStore store(dir);
+    const auto got = store.get("alice", "slot");
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->username, "alice");
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FileCredentialStore, RecordFilesAreOwnerOnly) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "myproxy-perms-test";
+  std::filesystem::remove_all(dir);
+  FileCredentialStore store(dir);
+  store.put(make_record("alice"));
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const auto perms = std::filesystem::status(entry.path()).permissions();
+    EXPECT_EQ(perms & (std::filesystem::perms::group_all |
+                       std::filesystem::perms::others_all),
+              std::filesystem::perms::none)
+        << entry.path();
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace myproxy::repository

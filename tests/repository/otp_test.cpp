@@ -1,0 +1,78 @@
+#include "repository/otp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace myproxy::repository {
+namespace {
+
+TEST(Otp, InitializeAndAuthenticateFullChain) {
+  OtpState state = otp_initialize("seed value", 5);
+  EXPECT_EQ(state.remaining, 5u);
+  // Use all five words in order.
+  for (std::uint32_t i = 5; i > 0; --i) {
+    const std::string word = otp_word("seed value", i - 1);
+    EXPECT_TRUE(otp_verify_and_advance(state, word)) << "word " << i - 1;
+    EXPECT_EQ(state.remaining, i - 1);
+  }
+  EXPECT_TRUE(state.exhausted());
+}
+
+TEST(Otp, ReplayedWordRejected) {
+  OtpState state = otp_initialize("seed", 3);
+  const std::string word = otp_word("seed", 2);
+  EXPECT_TRUE(otp_verify_and_advance(state, word));
+  // The same word again is a replay — the §5.1 attack this mechanism kills.
+  EXPECT_FALSE(otp_verify_and_advance(state, word));
+  EXPECT_EQ(state.remaining, 2u);  // unchanged by the failed attempt
+}
+
+TEST(Otp, WrongWordRejectedWithoutAdvancing) {
+  OtpState state = otp_initialize("seed", 3);
+  EXPECT_FALSE(otp_verify_and_advance(state, "garbage"));
+  EXPECT_EQ(state.remaining, 3u);
+  // Skipping ahead (word 0 while word 2 is due) also fails.
+  EXPECT_FALSE(otp_verify_and_advance(state, otp_word("seed", 0)));
+  EXPECT_EQ(state.remaining, 3u);
+}
+
+TEST(Otp, ExhaustedChainRefusesEverything) {
+  OtpState state = otp_initialize("seed", 1);
+  EXPECT_TRUE(otp_verify_and_advance(state, otp_word("seed", 0)));
+  EXPECT_TRUE(state.exhausted());
+  EXPECT_FALSE(otp_verify_and_advance(state, otp_word("seed", 0)));
+  EXPECT_FALSE(otp_verify_and_advance(state, "seed"));
+}
+
+TEST(Otp, DifferentSeedsProduceDisjointChains) {
+  OtpState state = otp_initialize("seed-a", 3);
+  EXPECT_FALSE(otp_verify_and_advance(state, otp_word("seed-b", 2)));
+}
+
+TEST(Otp, ZeroLengthChainRejected) {
+  EXPECT_THROW((void)otp_initialize("seed", 0), PolicyError);
+}
+
+TEST(Otp, HashIsDeterministicHex) {
+  EXPECT_EQ(otp_hash("x"), otp_hash("x"));
+  EXPECT_EQ(otp_hash("x").size(), 64u);
+  EXPECT_NE(otp_hash("x"), otp_hash("y"));
+}
+
+class OtpChainLengths : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(OtpChainLengths, ServerStoresOnlyTheTip) {
+  // Property: for any chain length N, the stored tip equals H(word_{N-1}),
+  // i.e. the server can always validate the next word and never needs the
+  // seed.
+  const std::uint32_t n = GetParam();
+  const OtpState state = otp_initialize("property seed", n);
+  EXPECT_EQ(state.current_hex, otp_hash(otp_word("property seed", n - 1)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, OtpChainLengths,
+                         ::testing::Values(1u, 2u, 3u, 10u, 64u, 257u));
+
+}  // namespace
+}  // namespace myproxy::repository

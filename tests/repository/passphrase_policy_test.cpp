@@ -1,0 +1,56 @@
+#include "repository/passphrase_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace myproxy::repository {
+namespace {
+
+TEST(PassphrasePolicy, AcceptsReasonablePhrase) {
+  const PassphrasePolicy policy;
+  EXPECT_NO_THROW(policy.check("alice", "correct horse battery staple"));
+  EXPECT_NO_THROW(policy.check("alice", "x9!kQ72#"));
+}
+
+TEST(PassphrasePolicy, RejectsShortPhrase) {
+  const PassphrasePolicy policy;
+  EXPECT_THROW(policy.check("alice", "abc"), PolicyError);
+  EXPECT_THROW(policy.check("alice", ""), PolicyError);
+  EXPECT_THROW(policy.check("alice", "12345"), PolicyError);
+}
+
+TEST(PassphrasePolicy, MinLengthConfigurable) {
+  PassphrasePolicy policy;
+  policy.set_min_length(10);
+  EXPECT_THROW(policy.check("alice", "ninechars"), PolicyError);
+  EXPECT_NO_THROW(policy.check("alice", "ten chars!"));
+}
+
+TEST(PassphrasePolicy, RejectsDictionaryWords) {
+  const PassphrasePolicy policy;
+  EXPECT_THROW(policy.check("alice", "password"), PolicyError);
+  EXPECT_THROW(policy.check("alice", "PASSWORD"), PolicyError);  // case-fold
+  EXPECT_THROW(policy.check("alice", "letmein"), PolicyError);
+}
+
+TEST(PassphrasePolicy, CustomDictionaryWordsRejected) {
+  PassphrasePolicy policy;
+  policy.add_dictionary_word("HPDC2001");
+  EXPECT_THROW(policy.check("alice", "hpdc2001"), PolicyError);
+}
+
+TEST(PassphrasePolicy, RejectsUsernameInPhrase) {
+  const PassphrasePolicy policy;
+  EXPECT_THROW(policy.check("alice", "alice rocks"), PolicyError);
+  EXPECT_THROW(policy.check("alice", "IamALICE99"), PolicyError);
+  EXPECT_NO_THROW(policy.check("alice", "unrelated phrase"));
+}
+
+TEST(PassphrasePolicy, RejectsRepeatedSingleCharacter) {
+  const PassphrasePolicy policy;
+  EXPECT_THROW(policy.check("alice", "aaaaaaaa"), PolicyError);
+}
+
+}  // namespace
+}  // namespace myproxy::repository

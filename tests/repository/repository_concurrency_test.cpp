@@ -1,0 +1,147 @@
+// Concurrency behaviour of the repository domain object: the server
+// services connections from a thread pool, so store/open/destroy must be
+// safe under parallel access (one production repository serves a whole VO,
+// §3.3).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/error.hpp"
+#include "gsi/gsi_fixtures.hpp"
+#include "gsi/proxy.hpp"
+#include "repository/repository.hpp"
+
+namespace myproxy::repository {
+namespace {
+
+using gsi::testing::make_user;
+
+constexpr std::string_view kPhrase = "correct horse battery";
+
+RepositoryPolicy fast_policy() {
+  RepositoryPolicy policy;
+  policy.kdf_iterations = 50;
+  return policy;
+}
+
+TEST(RepositoryConcurrency, ParallelStoresAndOpens) {
+  Repository repo(std::make_unique<MemoryCredentialStore>(), fast_policy());
+  const auto alice = make_user("conc-alice");
+  gsi::ProxyOptions options;
+  options.lifetime = Seconds(24 * 3600);
+  const gsi::Credential proxy = gsi::create_proxy(alice, options);
+
+  constexpr int kThreads = 4;
+  constexpr int kOps = 20;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOps; ++i) {
+        const std::string user =
+            "user-" + std::to_string(t) + "-" + std::to_string(i);
+        try {
+          repo.store(user, kPhrase, alice.identity().str(), proxy);
+          if (repo.open(user, kPhrase).identity() != alice.identity()) {
+            ++failures;
+          }
+        } catch (const Error&) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(repo.size(), static_cast<std::size_t>(kThreads * kOps));
+}
+
+TEST(RepositoryConcurrency, ParallelOpensOfOneRecord) {
+  Repository repo(std::make_unique<MemoryCredentialStore>(), fast_policy());
+  const auto alice = make_user("conc-shared-alice");
+  gsi::ProxyOptions options;
+  options.lifetime = Seconds(24 * 3600);
+  repo.store("alice", kPhrase, alice.identity().str(),
+             gsi::create_proxy(alice, options));
+
+  std::atomic<int> successes{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 25; ++i) {
+        if (repo.open("alice", kPhrase).identity() == alice.identity()) {
+          ++successes;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(successes.load(), 100);
+}
+
+TEST(RepositoryConcurrency, OtpChainUnderContention) {
+  // Concurrent OTP retrievals with the same word: at most one may win —
+  // a replayed word must never authenticate twice even under races.
+  Repository repo(std::make_unique<MemoryCredentialStore>(), fast_policy());
+  const auto alice = make_user("conc-otp-alice");
+  gsi::ProxyOptions options;
+  options.lifetime = Seconds(24 * 3600);
+  StoreOptions store_options;
+  store_options.otp_words = 64;
+  repo.store("alice", "otp seed", alice.identity().str(),
+             gsi::create_proxy(alice, options), store_options);
+
+  const std::string word = otp_word("otp seed", 63);
+  std::atomic<int> wins{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      try {
+        (void)repo.open("alice", word, "", /*otp=*/true);
+        ++wins;
+      } catch (const AuthenticationError&) {
+        // losers
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // NOTE: the memory store serializes record access, so exactly one thread
+  // can advance the chain with this word.
+  EXPECT_LE(wins.load(), 1);
+  EXPECT_GE(wins.load(), 1);
+}
+
+TEST(RepositoryConcurrency, DestroyRacingOpens) {
+  Repository repo(std::make_unique<MemoryCredentialStore>(), fast_policy());
+  const auto alice = make_user("conc-destroy-alice");
+  gsi::ProxyOptions options;
+  options.lifetime = Seconds(24 * 3600);
+  repo.store("alice", kPhrase, alice.identity().str(),
+             gsi::create_proxy(alice, options));
+
+  std::atomic<bool> destroyed{false};
+  std::thread destroyer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    repo.destroy("alice");
+    destroyed = true;
+  });
+  // Opens either succeed (before destroy) or throw NotFound (after); no
+  // crashes, no other errors.
+  int not_found = 0;
+  for (int i = 0; i < 200; ++i) {
+    try {
+      (void)repo.open("alice", kPhrase);
+    } catch (const NotFoundError&) {
+      ++not_found;
+    }
+  }
+  destroyer.join();
+  EXPECT_TRUE(destroyed.load());
+  EXPECT_EQ(repo.size(), 0u);
+  (void)not_found;  // count depends on timing; absence of crashes is the test
+}
+
+}  // namespace
+}  // namespace myproxy::repository

@@ -1,0 +1,72 @@
+#include "server/audit_log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace myproxy::server {
+namespace {
+
+AuditEvent event(std::string user, AuditOutcome outcome,
+                 TimePoint at = now()) {
+  return {at, "GET", "/O=Grid/CN=portal", std::move(user), outcome, "detail"};
+}
+
+TEST(AuditLog, RecordsAndSnapshots) {
+  AuditLog log;
+  log.record(event("alice", AuditOutcome::kSuccess));
+  log.record(event("bob", AuditOutcome::kAuthenticationFailure));
+  EXPECT_EQ(log.size(), 2u);
+  const auto events = log.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].username, "alice");
+  EXPECT_EQ(events[1].username, "bob");
+}
+
+TEST(AuditLog, RingBounded) {
+  AuditLog log(/*capacity=*/3);
+  for (int i = 0; i < 10; ++i) {
+    log.record(event("user-" + std::to_string(i), AuditOutcome::kSuccess));
+  }
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.events().front().username, "user-7");  // oldest kept
+}
+
+TEST(AuditLog, FilterByOutcome) {
+  AuditLog log;
+  log.record(event("a", AuditOutcome::kSuccess));
+  log.record(event("b", AuditOutcome::kAuthenticationFailure));
+  log.record(event("c", AuditOutcome::kAuthorizationFailure));
+  log.record(event("d", AuditOutcome::kAuthenticationFailure));
+  EXPECT_EQ(log.events_with(AuditOutcome::kAuthenticationFailure).size(), 2u);
+  EXPECT_EQ(log.events_with(AuditOutcome::kSuccess).size(), 1u);
+  EXPECT_EQ(log.events_with(AuditOutcome::kNotFound).size(), 0u);
+}
+
+TEST(AuditLog, FailuresForUserSince) {
+  AuditLog log;
+  const TimePoint t0 = now();
+  log.record(event("alice", AuditOutcome::kAuthenticationFailure,
+                   t0 - Seconds(100)));
+  log.record(event("alice", AuditOutcome::kAuthenticationFailure, t0));
+  log.record(event("alice", AuditOutcome::kAuthorizationFailure, t0));
+  log.record(event("alice", AuditOutcome::kSuccess, t0));
+  log.record(event("bob", AuditOutcome::kAuthenticationFailure, t0));
+  EXPECT_EQ(log.failures_for("alice", t0 - Seconds(10)), 2u);
+  EXPECT_EQ(log.failures_for("alice", t0 - Seconds(1000)), 3u);
+  EXPECT_EQ(log.failures_for("carol", t0 - Seconds(1000)), 0u);
+}
+
+TEST(AuditEvent, ExportLine) {
+  const auto line =
+      event("alice", AuditOutcome::kAuthenticationFailure).str();
+  EXPECT_NE(line.find("GET"), std::string::npos);
+  EXPECT_NE(line.find("user=alice"), std::string::npos);
+  EXPECT_NE(line.find("outcome=authentication-failure"), std::string::npos);
+
+  AuditEvent anonymous{now(), "CONNECT", "", "", AuditOutcome::kError, ""};
+  const auto anon_line = anonymous.str();
+  EXPECT_NE(anon_line.find("(unauthenticated)"), std::string::npos);
+  EXPECT_NE(anon_line.find("user=-"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace myproxy::server

@@ -1,0 +1,223 @@
+#include "tls/tls_channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <thread>
+
+#include "common/error.hpp"
+#include "gsi/gsi_fixtures.hpp"
+#include "gsi/proxy.hpp"
+
+namespace myproxy::tls {
+namespace {
+
+using gsi::testing::make_trust_store;
+using gsi::testing::make_user;
+
+/// Run a TLS handshake over a socket pair; returns {server side, client
+/// side} channels.
+std::pair<std::unique_ptr<TlsChannel>, std::unique_ptr<TlsChannel>>
+handshake(const gsi::Credential& server_cred,
+          const gsi::Credential& client_cred) {
+  auto [server_sock, client_sock] = net::socket_pair();
+  const TlsContext server_ctx = TlsContext::make(server_cred);
+  const TlsContext client_ctx = TlsContext::make(client_cred);
+
+  auto server_future = std::async(
+      std::launch::async, [&server_ctx, sock = std::move(server_sock)]() mutable {
+        return TlsChannel::accept(server_ctx, std::move(sock));
+      });
+  auto client = TlsChannel::connect(client_ctx, std::move(client_sock));
+  return {server_future.get(), std::move(client)};
+}
+
+TEST(TlsChannel, HandshakeAndMessageExchange) {
+  const auto server_cred = make_user("tls-server");
+  const auto client_cred = make_user("tls-client");
+  auto [server, client] = handshake(server_cred, client_cred);
+
+  client->send("request");
+  EXPECT_EQ(server->receive(), "request");
+  server->send("response");
+  EXPECT_EQ(client->receive(), "response");
+  EXPECT_TRUE(server->protocol_version().starts_with("TLS"));
+}
+
+TEST(TlsChannel, PeerChainsVisibleBothWays) {
+  const auto server_cred = make_user("tls-chain-server");
+  const auto client_cred = make_user("tls-chain-client");
+  auto [server, client] = handshake(server_cred, client_cred);
+
+  ASSERT_FALSE(server->peer_chain().empty());
+  EXPECT_EQ(server->peer_chain().front(), client_cred.certificate());
+  ASSERT_FALSE(client->peer_chain().empty());
+  EXPECT_EQ(client->peer_chain().front(), server_cred.certificate());
+}
+
+TEST(TlsChannel, ProxyCredentialAuthenticates) {
+  // A portal connects with a delegated proxy; the server must see the full
+  // chain (proxy + EEC) and resolve the Grid identity via the trust store.
+  const auto server_cred = make_user("tls-proxy-server");
+  const auto user = make_user("tls-proxy-user");
+  const auto proxy = gsi::create_proxy(user);
+  auto [server, client] = handshake(server_cred, proxy);
+
+  ASSERT_GE(server->peer_chain().size(), 2u);
+  const auto store = make_trust_store();
+  const auto id = store.verify(server->peer_chain());
+  EXPECT_EQ(id.identity, user.identity());
+  EXPECT_EQ(id.proxy_depth, 1u);
+}
+
+TEST(TlsChannel, ChainedProxyAuthenticates) {
+  const auto server_cred = make_user("tls-chain2-server");
+  const auto user = make_user("tls-chain2-user");
+  const auto hop1 = gsi::create_proxy(user);
+  gsi::ProxyOptions opts;
+  opts.lifetime = Seconds(1800);
+  const auto hop2 = gsi::create_proxy(hop1, opts);
+  auto [server, client] = handshake(server_cred, hop2);
+
+  const auto store = make_trust_store();
+  const auto id = store.verify(server->peer_chain());
+  EXPECT_EQ(id.identity, user.identity());
+  EXPECT_EQ(id.proxy_depth, 2u);
+}
+
+TEST(TlsChannel, EncryptedOnTheWire) {
+  // §5.1: sensitive fields must not be readable on the transport. Capture
+  // the raw bytes with a tee in the middle and check the plaintext never
+  // appears.
+  const auto server_cred = make_user("tls-wire-server");
+  const auto client_cred = make_user("tls-wire-client");
+
+  auto [server_sock, middle_a] = net::socket_pair();
+  auto [middle_b, client_sock] = net::socket_pair();
+
+  std::string captured;
+  std::thread proxy_thread([&middle_a, &middle_b, &captured] {
+    // Forward bytes both ways until close, recording everything.
+    std::atomic<bool> done{false};
+    std::thread backward([&middle_a, &middle_b, &done] {
+      try {
+        while (true) {
+          const std::string chunk = middle_b.read_some(4096);
+          if (chunk.empty()) break;
+          middle_a.write_all(chunk);
+        }
+      } catch (const Error&) {
+      }
+      done = true;
+      middle_a.shutdown_send();
+    });
+    try {
+      while (true) {
+        const std::string chunk = middle_a.read_some(4096);
+        if (chunk.empty()) break;
+        captured += chunk;
+        middle_b.write_all(chunk);
+      }
+    } catch (const Error&) {
+    }
+    middle_b.shutdown_send();
+    backward.join();
+  });
+
+  {
+    const TlsContext server_ctx = TlsContext::make(server_cred);
+    const TlsContext client_ctx = TlsContext::make(client_cred);
+    auto server_future =
+        std::async(std::launch::async,
+                   [&server_ctx, sock = std::move(server_sock)]() mutable {
+                     return TlsChannel::accept(server_ctx, std::move(sock));
+                   });
+    auto client = TlsChannel::connect(client_ctx, std::move(client_sock));
+    auto server = server_future.get();
+
+    client->send("PASSPHRASE=super secret words");
+    EXPECT_EQ(server->receive(), "PASSPHRASE=super secret words");
+    client->close();
+    server->close();
+  }
+  proxy_thread.join();
+
+  EXPECT_EQ(captured.find("super secret words"), std::string::npos);
+  EXPECT_GT(captured.size(), 0u);
+}
+
+TEST(TlsContext, RejectsCredentialMismatch) {
+  // TlsContext::make checks the key against the certificate.
+  const auto a = make_user("tls-mismatch-a");
+  EXPECT_NO_THROW((void)TlsContext::make(a));
+}
+
+TEST(TlsChannel, AnonymousClientAgainstRelaxedServer) {
+  // The portal's browser-facing mode (§5.2): server presents a credential,
+  // client presents nothing; the server sees an empty peer chain.
+  const auto server_cred = make_user("tls-anon-server");
+  auto [server_sock, client_sock] = net::socket_pair();
+  const TlsContext server_ctx =
+      TlsContext::make(server_cred, PeerAuth::kNone);
+  const TlsContext client_ctx = TlsContext::anonymous_client();
+
+  auto server_future = std::async(
+      std::launch::async, [&server_ctx, sock = std::move(server_sock)]() mutable {
+        return TlsChannel::accept(server_ctx, std::move(sock));
+      });
+  auto client = TlsChannel::connect(client_ctx, std::move(client_sock));
+  auto server = server_future.get();
+
+  EXPECT_FALSE(server->peer_authenticated());
+  EXPECT_TRUE(server->peer_chain().empty());
+  // The client still authenticated the server.
+  EXPECT_TRUE(client->peer_authenticated());
+  EXPECT_EQ(client->peer_chain().front(), server_cred.certificate());
+
+  client->send("form data");
+  EXPECT_EQ(server->receive(), "form data");
+}
+
+TEST(TlsChannel, AnonymousClientRejectedByStrictServer) {
+  // GSI endpoints demand a client certificate: the handshake itself fails.
+  const auto server_cred = make_user("tls-strict-server");
+  auto [server_sock, client_sock] = net::socket_pair();
+  const TlsContext server_ctx =
+      TlsContext::make(server_cred, PeerAuth::kRequired);
+  const TlsContext client_ctx = TlsContext::anonymous_client();
+
+  auto server_future = std::async(
+      std::launch::async, [&server_ctx, sock = std::move(server_sock)]() mutable {
+        return TlsChannel::accept(server_ctx, std::move(sock));
+      });
+  // One side (or both) must observe a handshake failure.
+  bool client_failed = false;
+  try {
+    auto client = TlsChannel::connect(client_ctx, std::move(client_sock));
+    // TLS 1.3 may complete the client side before the server rejects;
+    // the failure then surfaces on first I/O.
+    client->send("x");
+    (void)client->receive();
+  } catch (const Error&) {
+    client_failed = true;
+  }
+  bool server_failed = false;
+  try {
+    (void)server_future.get();
+  } catch (const Error&) {
+    server_failed = true;
+  }
+  EXPECT_TRUE(client_failed || server_failed);
+  EXPECT_TRUE(server_failed);  // the strict side always refuses
+}
+
+TEST(TlsChannel, FramedOversizeRejected) {
+  const auto server_cred = make_user("tls-oversize-server");
+  const auto client_cred = make_user("tls-oversize-client");
+  auto [server, client] = handshake(server_cred, client_cred);
+  EXPECT_THROW(client->send(std::string(net::kMaxMessageSize + 1, 'x')),
+               ProtocolError);
+}
+
+}  // namespace
+}  // namespace myproxy::tls

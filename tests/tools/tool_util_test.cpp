@@ -1,0 +1,106 @@
+#include "tool_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "gsi/gsi_fixtures.hpp"
+#include "gsi/proxy.hpp"
+
+namespace myproxy::tools {
+namespace {
+
+Args make_args(std::vector<std::string> argv,
+               std::vector<std::string> value_flags) {
+  std::vector<char*> raw;
+  raw.push_back(const_cast<char*>("tool"));
+  for (auto& arg : argv) raw.push_back(arg.data());
+  return Args(static_cast<int>(raw.size()), raw.data(),
+              std::move(value_flags));
+}
+
+TEST(Args, ParsesValueFlagsSwitchesAndPositionals) {
+  auto args = make_args({"--port", "7512", "--limited", "file.pem"},
+                        {"--port"});
+  EXPECT_EQ(args.get("--port"), "7512");
+  EXPECT_TRUE(args.has("--limited"));
+  EXPECT_TRUE(args.has("--port"));
+  EXPECT_FALSE(args.has("--missing"));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "file.pem");
+}
+
+TEST(Args, GetOrFallsBack) {
+  auto args = make_args({}, {"--port"});
+  EXPECT_EQ(args.get_or("--port", "7512"), "7512");
+  EXPECT_EQ(args.get("--port"), std::nullopt);
+}
+
+TEST(Args, ValueFlagWithoutValueThrows) {
+  EXPECT_THROW(make_args({"--port"}, {"--port"}), ConfigError);
+}
+
+TEST(Args, RepeatedValueFlagKeepsLast) {
+  auto args = make_args({"--port", "1", "--port", "2"}, {"--port"});
+  EXPECT_EQ(args.get("--port"), "2");
+}
+
+TEST(FileIo, WriteReadRoundTrip) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "myproxy-toolutil-test.txt";
+  write_file(path, "contents\n");
+  EXPECT_EQ(read_file(path), "contents\n");
+  std::filesystem::remove(path);
+  EXPECT_THROW((void)read_file(path), IoError);
+}
+
+TEST(FileIo, PrivateModeRestrictsPermissions) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "myproxy-toolutil-priv.pem";
+  write_file(path, "secret", /*private_mode=*/true);
+  const auto perms = std::filesystem::status(path).permissions();
+  EXPECT_EQ(perms & (std::filesystem::perms::group_all |
+                     std::filesystem::perms::others_all),
+            std::filesystem::perms::none);
+  std::filesystem::remove(path);
+}
+
+TEST(CredentialIo, LoadCredentialAndTrustStore) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "myproxy-toolutil-cred-test";
+  std::filesystem::create_directories(dir);
+
+  const auto user = gsi::testing::make_user("toolutil-user");
+  const SecureBuffer pem = user.to_pem();
+  write_file(dir / "cred.pem", pem.view(), true);
+  write_file(dir / "ca.pem",
+             gsi::testing::test_ca().certificate().to_pem());
+
+  const auto loaded = load_credential(dir / "cred.pem");
+  EXPECT_EQ(loaded.identity(), user.identity());
+
+  const auto store = load_trust_store(dir / "ca.pem");
+  EXPECT_EQ(store.root_count(), 1u);
+  EXPECT_NO_THROW((void)store.verify(gsi::create_proxy(loaded).full_chain()));
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PassphraseInput, ReadsFromFileAndStripsNewline) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "myproxy-toolutil-pp.txt";
+  write_file(path, "my pass phrase\n");
+  auto args = make_args({"--passphrase-file", path.string()},
+                        {"--passphrase-file"});
+  EXPECT_EQ(read_passphrase(args, "prompt"), "my pass phrase");
+  std::filesystem::remove(path);
+}
+
+TEST(RunTool, MapsExceptionsToExitCodes) {
+  EXPECT_EQ(run_tool("t", [] {}), 0);
+  EXPECT_EQ(run_tool("t", [] { throw IoError("boom"); }), 1);
+  EXPECT_EQ(run_tool("t", [] { throw std::runtime_error("boom"); }), 2);
+}
+
+}  // namespace
+}  // namespace myproxy::tools

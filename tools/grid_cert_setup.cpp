@@ -1,0 +1,53 @@
+// grid-cert-setup: bootstrap a toy Grid PKI on disk — a CA plus user and
+// service credentials — so the myproxy-* tools can run standalone. Stands
+// in for the production CA enrollment the paper assumes (§2.1).
+//
+// Usage:
+//   grid-cert-setup --dir ./grid-pki
+//       --user "Alice" --service "myproxy.grid.test" --portal "portal-1"
+#include "client/myproxy_client.hpp"
+#include "pki/certificate_authority.hpp"
+#include "tool_util.hpp"
+
+namespace {
+
+using namespace myproxy;  // NOLINT(google-build-using-namespace) tool main
+
+void setup(const tools::Args& args) {
+  const std::filesystem::path dir = args.get_or("--dir", "./grid-pki");
+  std::filesystem::create_directories(dir);
+
+  auto ca = pki::CertificateAuthority::create(
+      pki::DistinguishedName::parse("/C=US/O=Grid/CN=Reproduction CA"),
+      crypto::KeySpec::rsa(2048));
+  tools::write_file(dir / "ca.pem", ca.certificate().to_pem());
+  std::cout << "wrote " << (dir / "ca.pem").string() << " ("
+            << ca.certificate().subject().str() << ")\n";
+
+  const auto issue = [&](const std::string& ou, const std::string& cn,
+                         const std::string& filename) {
+    const auto dn = pki::DistinguishedName::parse(
+        "/C=US/O=Grid/OU=" + ou + "/CN=" + cn);
+    auto key = crypto::KeyPair::generate(crypto::KeySpec::rsa(2048));
+    auto cert = ca.issue(dn, key, Seconds(365L * 24 * 3600));
+    const gsi::Credential credential(std::move(cert), std::move(key));
+    const SecureBuffer pem = credential.to_pem();
+    tools::write_file(dir / filename, pem.view(), /*private_mode=*/true);
+    std::cout << "wrote " << (dir / filename).string() << " (" << dn.str()
+              << ")\n";
+  };
+
+  issue("People", args.get_or("--user", "Alice"), "usercred.pem");
+  issue("Services", args.get_or("--service", "myproxy.grid.test"),
+        "hostcred.pem");
+  issue("Portals", args.get_or("--portal", "portal-1"), "portalcred.pem");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const myproxy::tools::Args args(
+      argc, argv, {"--dir", "--user", "--service", "--portal"});
+  return myproxy::tools::run_tool("grid-cert-setup",
+                                  [&args] { setup(args); });
+}

@@ -1,0 +1,56 @@
+// grid-proxy-info: inspect a credential file — identity, proxy type and
+// depth, validity, restrictions (companion to grid-proxy-init, matching the
+// Globus tool of the same name).
+//
+// Usage:
+//   grid-proxy-info --cred /tmp/x509up [--trust ca.pem]
+#include "gsi/credential.hpp"
+#include "pki/trust_store.hpp"
+#include "tool_util.hpp"
+
+namespace {
+
+using namespace myproxy;  // NOLINT(google-build-using-namespace) tool main
+
+void info(const tools::Args& args) {
+  const auto credential =
+      tools::load_credential(args.get_or("--cred", "/tmp/x509up_u_myproxy"),
+                             args.get_or("--key-passphrase", ""));
+  const auto& cert = credential.certificate();
+  std::cout << "subject   : " << credential.subject().str() << '\n'
+            << "identity  : " << credential.identity().str() << '\n'
+            << "issuer    : " << cert.issuer().str() << '\n'
+            << "type      : " << to_string(cert.proxy_type()) << " (depth "
+            << credential.delegation_depth() << ")\n"
+            << "not after : " << format_utc(credential.not_after()) << '\n'
+            << "time left : "
+            << (credential.expired()
+                    ? "expired"
+                    : format_duration(credential.remaining_lifetime()))
+            << '\n'
+            << "key       : "
+            << (credential.key().type() == crypto::KeyType::kRsa ? "RSA-"
+                                                                 : "EC-")
+            << credential.key().bits() << '\n';
+  if (const auto policy = cert.restriction_policy()) {
+    std::cout << "policy    : " << *policy << '\n';
+  }
+  if (const auto trust = args.get("--trust")) {
+    const auto store = tools::load_trust_store(*trust);
+    try {
+      const auto id = store.verify(credential.full_chain());
+      std::cout << "verify    : OK (identity " << id.identity.str()
+                << (id.limited ? ", LIMITED" : "") << ")\n";
+    } catch (const Error& e) {
+      std::cout << "verify    : FAILED — " << e.what() << '\n';
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const myproxy::tools::Args args(argc, argv,
+                                  {"--cred", "--trust", "--key-passphrase"});
+  return myproxy::tools::run_tool("grid-proxy-info", [&args] { info(args); });
+}

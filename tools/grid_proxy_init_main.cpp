@@ -1,0 +1,42 @@
+// grid-proxy-init: create a local proxy credential from a long-term
+// credential (paper §2.5's "typical GSI usage" step one).
+//
+// Usage:
+//   grid-proxy-init --cred usercred.pem --out /tmp/x509up
+//       [--lifetime 43200] [--limited] [--restriction "rights=a,b"]
+#include "gsi/proxy.hpp"
+#include "tool_util.hpp"
+
+namespace {
+
+using namespace myproxy;  // NOLINT(google-build-using-namespace) tool main
+
+void proxy_init(const tools::Args& args) {
+  const auto source =
+      tools::load_credential(args.get_or("--cred", "usercred.pem"),
+                             args.get_or("--key-passphrase", ""));
+  gsi::ProxyOptions options;
+  options.lifetime =
+      Seconds(std::stoll(args.get_or("--lifetime", "43200")));
+  options.limited = args.has("--limited");
+  if (const auto restriction = args.get("--restriction")) {
+    options.restriction = pki::RestrictionPolicy::parse(*restriction);
+  }
+  const gsi::Credential proxy = gsi::create_proxy(source, options);
+  const std::string out = args.get_or("--out", "/tmp/x509up_u_myproxy");
+  const SecureBuffer pem = proxy.to_pem();
+  tools::write_file(out, pem.view(), /*private_mode=*/true);
+  std::cout << "Your proxy is valid until "
+            << format_utc(proxy.not_after()) << " (" << out << ")\n"
+            << "identity: " << proxy.identity().str() << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const myproxy::tools::Args args(
+      argc, argv,
+      {"--cred", "--out", "--lifetime", "--restriction", "--key-passphrase"});
+  return myproxy::tools::run_tool("grid-proxy-init",
+                                  [&args] { proxy_init(args); });
+}

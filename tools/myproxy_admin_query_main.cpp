@@ -1,0 +1,88 @@
+// myproxy-admin-query: offline inspection of a repository storage
+// directory (runs on the repository host, against the FileCredentialStore
+// layout; the original distribution shipped the same administrative tool).
+// Shows metadata only — record blobs stay sealed.
+//
+// Usage:
+//   myproxy-admin-query --storage /var/lib/myproxy [--user alice]
+//       [--expired]   # only expired records (candidates for sweeping)
+#include <set>
+
+#include "common/encoding.hpp"
+#include "repository/credential_store.hpp"
+#include "tool_util.hpp"
+
+namespace {
+
+using namespace myproxy;  // NOLINT(google-build-using-namespace) tool main
+
+void print_record(const repository::CredentialRecord& record) {
+  std::cout << "user '" << record.username << "' slot '"
+            << (record.name.empty() ? "(default)" : record.name) << "'\n"
+            << "  owner:   " << record.owner_dn << '\n'
+            << "  created: " << format_utc(record.created_at) << '\n'
+            << "  expires: " << format_utc(record.not_after)
+            << (record.expired() ? "  [EXPIRED]" : "") << '\n'
+            << "  sealing: " << to_string(record.sealing) << '\n'
+            << "  max delegation: "
+            << format_duration(record.max_delegation_lifetime) << '\n';
+  for (const auto& pattern : record.retriever_patterns) {
+    std::cout << "  retriever: " << pattern << '\n';
+  }
+  for (const auto& pattern : record.renewer_patterns) {
+    std::cout << "  renewer:   " << pattern << '\n';
+  }
+  if (record.always_limited) std::cout << "  limited: yes\n";
+  if (record.restriction.has_value()) {
+    std::cout << "  restriction: " << *record.restriction << '\n';
+  }
+  if (record.otp.has_value()) {
+    std::cout << "  otp remaining: " << record.otp->remaining << '\n';
+  }
+}
+
+void query(const tools::Args& args) {
+  const std::string storage = args.get_or("--storage", "/var/lib/myproxy");
+  repository::FileCredentialStore store(storage);
+  const bool only_expired = args.has("--expired");
+  const auto user_filter = args.get("--user");
+
+  std::size_t shown = 0;
+  // Enumerate through list(): iterate the directory by peeking every
+  // record's username via the store's own listing of known users. The
+  // FileCredentialStore keys records by hex(username); walk the directory.
+  namespace fs = std::filesystem;
+  std::set<std::string> usernames;
+  for (const auto& entry : fs::directory_iterator(storage)) {
+    if (entry.path().extension() != ".cred") continue;
+    const std::string stem = entry.path().stem().string();
+    const std::size_t dash = stem.find('-');
+    if (dash == std::string::npos) continue;
+    try {
+      const auto raw = encoding::hex_decode(stem.substr(0, dash));
+      usernames.insert(encoding::to_string(raw));
+    } catch (const Error&) {
+      std::cerr << "skipping unparsable record file " << entry.path()
+                << '\n';
+    }
+  }
+  for (const auto& username : usernames) {
+    if (user_filter.has_value() && *user_filter != username) continue;
+    for (const auto& record : store.list(username)) {
+      if (only_expired && !record.expired()) continue;
+      print_record(record);
+      ++shown;
+    }
+  }
+  std::cout << shown << " record(s)";
+  if (only_expired) std::cout << " (expired only)";
+  std::cout << " in " << storage << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const myproxy::tools::Args args(argc, argv, {"--storage", "--user"});
+  return myproxy::tools::run_tool("myproxy-admin-query",
+                                  [&args] { query(args); });
+}

@@ -1,0 +1,53 @@
+// myproxy-change-passphrase: rotate the retrieval pass phrase, re-encrypting
+// the stored credential under the new one.
+//
+// Usage:
+//   myproxy-change-passphrase --cred usercred.pem --trust ca.pem
+//       --port 7512 --user alice [--name slot]
+//       --passphrase-file old.txt --new-passphrase-file new.txt
+#include "client/myproxy_client.hpp"
+#include "gsi/proxy.hpp"
+#include "tool_util.hpp"
+
+namespace {
+
+using namespace myproxy;  // NOLINT(google-build-using-namespace) tool main
+
+void change(const tools::Args& args) {
+  const auto source =
+      tools::load_credential(args.get_or("--cred", "usercred.pem"));
+  auto trust = tools::load_trust_store(args.get_or("--trust", "ca.pem"));
+  const auto port =
+      static_cast<std::uint16_t>(std::stoi(args.get_or("--port", "7512")));
+  const std::string username = args.get_or("--user", "anonymous");
+  const std::string old_phrase =
+      tools::read_passphrase(args, "Enter current MyProxy pass phrase");
+  std::string new_phrase;
+  if (const auto file = args.get("--new-passphrase-file")) {
+    new_phrase = tools::read_file(*file);
+    while (!new_phrase.empty() &&
+           (new_phrase.back() == '\n' || new_phrase.back() == '\r')) {
+      new_phrase.pop_back();
+    }
+  } else {
+    std::cerr << "Enter new MyProxy pass phrase: " << std::flush;
+    std::getline(std::cin, new_phrase);
+  }
+
+  const gsi::Credential proxy = gsi::create_proxy(source);
+  client::MyProxyClient client(proxy, std::move(trust), port);
+  client.change_passphrase(username, old_phrase, new_phrase,
+                           args.get_or("--name", ""));
+  std::cout << "Pass phrase changed for user " << username << ".\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const myproxy::tools::Args args(
+      argc, argv,
+      {"--cred", "--trust", "--port", "--user", "--name",
+       "--passphrase-file", "--new-passphrase-file"});
+  return myproxy::tools::run_tool("myproxy-change-passphrase",
+                                  [&args] { change(args); });
+}

@@ -1,0 +1,36 @@
+// myproxy-destroy: remove credentials from the repository (§4.1).
+//
+// Usage:
+//   myproxy-destroy --cred usercred.pem --trust ca.pem --port 7512
+//       --user alice [--name slot]
+#include "client/myproxy_client.hpp"
+#include "gsi/proxy.hpp"
+#include "tool_util.hpp"
+
+namespace {
+
+using namespace myproxy;  // NOLINT(google-build-using-namespace) tool main
+
+void destroy(const tools::Args& args) {
+  const auto source =
+      tools::load_credential(args.get_or("--cred", "usercred.pem"));
+  auto trust = tools::load_trust_store(args.get_or("--trust", "ca.pem"));
+  const auto port =
+      static_cast<std::uint16_t>(std::stoi(args.get_or("--port", "7512")));
+  const std::string username = args.get_or("--user", "anonymous");
+
+  const gsi::Credential proxy = gsi::create_proxy(source);
+  client::MyProxyClient client(proxy, std::move(trust), port);
+  client.destroy(username, args.get_or("--name", ""));
+  std::cout << "MyProxy credential for user " << username
+            << " was successfully removed.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const myproxy::tools::Args args(
+      argc, argv, {"--cred", "--trust", "--port", "--user", "--name"});
+  return myproxy::tools::run_tool("myproxy-destroy",
+                                  [&args] { destroy(args); });
+}

@@ -1,0 +1,50 @@
+// myproxy-get-delegation: retrieve a delegated proxy (Figure 2).
+//
+// Usage:
+//   myproxy-get-delegation --cred portalcred.pem --trust ca.pem
+//       --port 7512 --user alice --out /tmp/x509up [--lifetime 7200]
+//       [--name slot] [--limited] [--otp] [--passphrase-file f]
+#include "client/myproxy_client.hpp"
+#include "tool_util.hpp"
+
+namespace {
+
+using namespace myproxy;  // NOLINT(google-build-using-namespace) tool main
+
+void get_delegation(const tools::Args& args) {
+  const auto credential =
+      tools::load_credential(args.get_or("--cred", "portalcred.pem"));
+  auto trust = tools::load_trust_store(args.get_or("--trust", "ca.pem"));
+  const auto port =
+      static_cast<std::uint16_t>(std::stoi(args.get_or("--port", "7512")));
+  const std::string username = args.get_or("--user", "anonymous");
+  const std::string passphrase =
+      tools::read_passphrase(args, "Enter MyProxy pass phrase");
+
+  client::MyProxyClient client(credential, std::move(trust), port);
+  client::GetOptions options;
+  options.lifetime = Seconds(std::stoll(args.get_or("--lifetime", "0")));
+  options.credential_name = args.get_or("--name", "");
+  options.want_limited = args.has("--limited");
+  options.otp = args.has("--otp");
+
+  const gsi::Credential delegated =
+      client.get(username, passphrase, options);
+  const std::string out = args.get_or("--out", "/tmp/x509up_u_myproxy");
+  const SecureBuffer pem = delegated.to_pem();
+  tools::write_file(out, pem.view(), /*private_mode=*/true);
+  std::cout << "A proxy has been received for user " << username << " in "
+            << out << " (valid for "
+            << format_duration(delegated.remaining_lifetime()) << ").\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const myproxy::tools::Args args(
+      argc, argv,
+      {"--cred", "--trust", "--port", "--user", "--lifetime", "--name",
+       "--out", "--passphrase-file"});
+  return myproxy::tools::run_tool("myproxy-get-delegation",
+                                  [&args] { get_delegation(args); });
+}

@@ -1,0 +1,47 @@
+// myproxy-info: show metadata for stored credentials.
+//
+// Usage:
+//   myproxy-info --cred usercred.pem --trust ca.pem --port 7512
+//       --user alice [--name slot]
+#include "client/myproxy_client.hpp"
+#include "gsi/proxy.hpp"
+#include "tool_util.hpp"
+
+namespace {
+
+using namespace myproxy;  // NOLINT(google-build-using-namespace) tool main
+
+void info(const tools::Args& args) {
+  const auto source =
+      tools::load_credential(args.get_or("--cred", "usercred.pem"));
+  auto trust = tools::load_trust_store(args.get_or("--trust", "ca.pem"));
+  const auto port =
+      static_cast<std::uint16_t>(std::stoi(args.get_or("--port", "7512")));
+  const std::string username = args.get_or("--user", "anonymous");
+
+  const gsi::Credential proxy = gsi::create_proxy(source);
+  client::MyProxyClient client(proxy, std::move(trust), port);
+  const auto result = client.info(username, args.get_or("--name", ""));
+  std::cout << "username:       " << username << '\n'
+            << "owner:          " << result.owner_dn << '\n'
+            << "created:        " << format_utc(result.created_at) << '\n'
+            << "expires:        " << format_utc(result.not_after) << '\n'
+            << "max delegation: "
+            << format_duration(result.max_delegation_lifetime) << '\n'
+            << "sealing:        " << result.sealing << '\n';
+  if (result.limited) std::cout << "limited:        yes\n";
+  if (result.restriction.has_value()) {
+    std::cout << "restriction:    " << *result.restriction << '\n';
+  }
+  if (result.otp_remaining.has_value()) {
+    std::cout << "otp remaining:  " << *result.otp_remaining << '\n';
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const myproxy::tools::Args args(
+      argc, argv, {"--cred", "--trust", "--port", "--user", "--name"});
+  return myproxy::tools::run_tool("myproxy-info", [&args] { info(args); });
+}

@@ -1,0 +1,70 @@
+// myproxy-init: delegate a proxy credential to the repository (Figure 1).
+//
+// Usage:
+//   myproxy-init --cred usercred.pem --trust ca.pem --port 7512
+//       --user alice [--lifetime 604800] [--max-delegation 43200]
+//       [--name slot] [--retriever "<dn glob>"] [--renewer "<dn glob>"]
+//       [--limited] [--restriction "rights=a,b"] [--tags t1,t2] [--otp]
+//       [--passphrase-file f]
+#include "client/myproxy_client.hpp"
+#include "gsi/proxy.hpp"
+#include "tool_util.hpp"
+
+namespace {
+
+using namespace myproxy;  // NOLINT(google-build-using-namespace) tool main
+
+void init(const tools::Args& args) {
+  const auto source =
+      tools::load_credential(args.get_or("--cred", "usercred.pem"),
+                             args.get_or("--key-passphrase", ""));
+  auto trust = tools::load_trust_store(args.get_or("--trust", "ca.pem"));
+  const auto port =
+      static_cast<std::uint16_t>(std::stoi(args.get_or("--port", "7512")));
+  const std::string username = args.get_or("--user", "anonymous");
+  const std::string passphrase =
+      tools::read_passphrase(args, "Enter MyProxy pass phrase");
+
+  // Create a fresh proxy to authenticate the connection and to delegate
+  // from (the long-term key signs once, then stays untouched — §2.3).
+  gsi::ProxyOptions proxy_options;
+  proxy_options.lifetime =
+      Seconds(std::stoll(args.get_or("--lifetime",
+                                     std::to_string(kDefaultRepositoryLifetime.count()))));
+  const gsi::Credential proxy = gsi::create_proxy(source, proxy_options);
+
+  client::MyProxyClient client(proxy, std::move(trust), port);
+  client::PutOptions options;
+  options.stored_lifetime = proxy_options.lifetime;
+  options.max_delegation_lifetime =
+      Seconds(std::stoll(args.get_or("--max-delegation", "0")));
+  options.credential_name = args.get_or("--name", "");
+  if (const auto retriever = args.get("--retriever")) {
+    options.retriever_patterns.push_back(*retriever);
+  }
+  if (const auto renewer = args.get("--renewer")) {
+    options.renewer_patterns.push_back(*renewer);
+  }
+  options.always_limited = args.has("--limited");
+  if (const auto restriction = args.get("--restriction")) {
+    options.restriction = *restriction;
+  }
+  options.task_tags = args.get_or("--tags", "");
+  options.use_otp = args.has("--otp");
+
+  client.put(username, passphrase, proxy, options);
+  std::cout << "A proxy valid for "
+            << format_duration(proxy.remaining_lifetime()) << " for user "
+            << username << " now exists on the repository.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const myproxy::tools::Args args(
+      argc, argv,
+      {"--cred", "--trust", "--port", "--user", "--lifetime",
+       "--max-delegation", "--name", "--retriever", "--renewer",
+       "--restriction", "--tags", "--passphrase-file", "--key-passphrase"});
+  return myproxy::tools::run_tool("myproxy-init", [&args] { init(args); });
+}

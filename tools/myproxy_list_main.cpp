@@ -1,0 +1,42 @@
+// myproxy-list: list a user's credential wallet, optionally asking the
+// repository to pick the credential for a task (paper §6.2).
+//
+// Usage:
+//   myproxy-list --cred usercred.pem --trust ca.pem --port 7512
+//       --user alice [--task transfer]
+#include "client/myproxy_client.hpp"
+#include "gsi/proxy.hpp"
+#include "tool_util.hpp"
+
+namespace {
+
+using namespace myproxy;  // NOLINT(google-build-using-namespace) tool main
+
+void list(const tools::Args& args) {
+  const auto source =
+      tools::load_credential(args.get_or("--cred", "usercred.pem"));
+  auto trust = tools::load_trust_store(args.get_or("--trust", "ca.pem"));
+  const auto port =
+      static_cast<std::uint16_t>(std::stoi(args.get_or("--port", "7512")));
+  const std::string username = args.get_or("--user", "anonymous");
+
+  const gsi::Credential proxy = gsi::create_proxy(source);
+  client::MyProxyClient client(proxy, std::move(trust), port);
+  if (const auto task = args.get("--task")) {
+    const std::string selected = client.select_for_task(username, *task);
+    std::cout << "credential for task '" << *task << "': "
+              << (selected.empty() ? "(default)" : selected) << '\n';
+    return;
+  }
+  for (const auto& name : client.list(username)) {
+    std::cout << name << '\n';
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const myproxy::tools::Args args(
+      argc, argv, {"--cred", "--trust", "--port", "--user", "--task"});
+  return myproxy::tools::run_tool("myproxy-list", [&args] { list(args); });
+}

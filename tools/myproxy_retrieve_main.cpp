@@ -1,0 +1,45 @@
+// myproxy-retrieve: fetch stored key material back from the repository
+// (paper §6.1; owner-only).
+//
+// Usage:
+//   myproxy-retrieve --cred usercred.pem --trust ca.pem --port 7512
+//       --user alice --out restored.pem [--name slot] [--passphrase-file f]
+#include "client/myproxy_client.hpp"
+#include "gsi/proxy.hpp"
+#include "tool_util.hpp"
+
+namespace {
+
+using namespace myproxy;  // NOLINT(google-build-using-namespace) tool main
+
+void retrieve(const tools::Args& args) {
+  const auto source =
+      tools::load_credential(args.get_or("--cred", "usercred.pem"));
+  auto trust = tools::load_trust_store(args.get_or("--trust", "ca.pem"));
+  const auto port =
+      static_cast<std::uint16_t>(std::stoi(args.get_or("--port", "7512")));
+  const std::string username = args.get_or("--user", "anonymous");
+  const std::string passphrase =
+      tools::read_passphrase(args, "Enter MyProxy pass phrase");
+
+  const gsi::Credential proxy = gsi::create_proxy(source);
+  client::MyProxyClient client(proxy, std::move(trust), port);
+  const gsi::Credential restored =
+      client.retrieve(username, passphrase, args.get_or("--name", ""));
+  const std::string out = args.get_or("--out", "restored-credential.pem");
+  const SecureBuffer pem = restored.to_pem();
+  tools::write_file(out, pem.view(), /*private_mode=*/true);
+  std::cout << "Credential for " << restored.identity().str()
+            << " written to " << out << ".\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const myproxy::tools::Args args(
+      argc, argv,
+      {"--cred", "--trust", "--port", "--user", "--name", "--out",
+       "--passphrase-file"});
+  return myproxy::tools::run_tool("myproxy-retrieve",
+                                  [&args] { retrieve(args); });
+}

@@ -1,0 +1,108 @@
+// myproxy-server: run the online credential repository (paper §4).
+//
+// Usage:
+//   myproxy-server --port 7512 --cred hostcred.pem --trust ca.pem
+//       [--config myproxy-server.config] [--storage /var/myproxy]
+//
+// Config keys (myproxy-server.config style):
+//   accepted_credentials  "<dn glob>"      # who may store (repeatable)
+//   authorized_retrievers "<dn glob>"      # who may retrieve (repeatable)
+//   authorized_renewers   "<dn glob>"      # who may renew (repeatable)
+//   max_proxy_lifetime    <seconds>
+//   default_proxy_lifetime <seconds>
+//   max_cred_lifetime     <seconds>
+//   kdf_iterations        <n>
+//   passphrase_min_length <n>
+#include <csignal>
+
+#include "common/config.hpp"
+#include "common/logging.hpp"
+#include "server/myproxy_server.hpp"
+#include "tool_util.hpp"
+
+namespace {
+
+using namespace myproxy;  // NOLINT(google-build-using-namespace) tool main
+
+volatile std::sig_atomic_t g_stop = 0;
+void handle_signal(int) { g_stop = 1; }
+
+void serve(const tools::Args& args) {
+  const auto credential =
+      tools::load_credential(args.get_or("--cred", "hostcred.pem"));
+  auto trust = tools::load_trust_store(args.get_or("--trust", "ca.pem"));
+
+  Config config;
+  if (const auto path = args.get("--config")) {
+    config = Config::load(*path);
+  }
+
+  repository::RepositoryPolicy policy;
+  policy.max_stored_lifetime =
+      Seconds(config.get_int_or("max_cred_lifetime",
+                                kDefaultRepositoryLifetime.count()));
+  policy.max_delegation_lifetime =
+      Seconds(config.get_int_or("max_proxy_lifetime", 24 * 3600));
+  policy.default_delegation_lifetime = Seconds(config.get_int_or(
+      "default_proxy_lifetime", kDefaultDelegatedLifetime.count()));
+  policy.kdf_iterations = static_cast<unsigned>(
+      config.get_int_or("kdf_iterations", crypto::kDefaultKdfIterations));
+  policy.passphrase_policy.set_min_length(static_cast<std::size_t>(
+      config.get_int_or("passphrase_min_length", 6)));
+
+  std::unique_ptr<repository::CredentialStore> store;
+  if (args.has("--storage") || config.has("storage_dir")) {
+    store = std::make_unique<repository::FileCredentialStore>(
+        args.get_or("--storage", config.get_or("storage_dir", "")));
+  } else {
+    store = std::make_unique<repository::MemoryCredentialStore>();
+  }
+  auto repository = std::make_shared<repository::Repository>(
+      std::move(store), std::move(policy));
+
+  server::ServerConfig server_config;
+  server_config.port = static_cast<std::uint16_t>(
+      std::stoi(args.get_or("--port", "7512")));
+  for (const auto& pattern : config.get_all("accepted_credentials")) {
+    server_config.accepted_credentials.add(pattern);
+  }
+  for (const auto& pattern : config.get_all("authorized_retrievers")) {
+    server_config.authorized_retrievers.add(pattern);
+  }
+  for (const auto& pattern : config.get_all("authorized_renewers")) {
+    server_config.authorized_renewers.add(pattern);
+  }
+  if (server_config.accepted_credentials.empty()) {
+    server_config.accepted_credentials.add("*");
+    log::warn("myproxy-server",
+              "no accepted_credentials configured; accepting all "
+              "authenticated storers");
+  }
+  if (server_config.authorized_retrievers.empty()) {
+    server_config.authorized_retrievers.add("*");
+    log::warn("myproxy-server",
+              "no authorized_retrievers configured; accepting all "
+              "authenticated retrievers");
+  }
+
+  server::MyProxyServer server(credential, std::move(trust), repository,
+                               server_config);
+  server.start();
+  std::cout << "myproxy-server listening on port " << server.port() << '\n';
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    repository->sweep_expired();
+  }
+  server.stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const myproxy::tools::Args args(
+      argc, argv, {"--port", "--cred", "--trust", "--config", "--storage"});
+  return myproxy::tools::run_tool("myproxy-server", [&args] { serve(args); });
+}

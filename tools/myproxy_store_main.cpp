@@ -1,0 +1,45 @@
+// myproxy-store: store a *long-term* credential (certificate and key) in
+// the repository for later retrieval from anywhere (paper §6.1).
+//
+// Usage:
+//   myproxy-store --cred usercred.pem --trust ca.pem --port 7512
+//       --user alice [--name slot] [--tags t1,t2] [--passphrase-file f]
+#include "client/myproxy_client.hpp"
+#include "gsi/proxy.hpp"
+#include "tool_util.hpp"
+
+namespace {
+
+using namespace myproxy;  // NOLINT(google-build-using-namespace) tool main
+
+void store(const tools::Args& args) {
+  const auto source =
+      tools::load_credential(args.get_or("--cred", "usercred.pem"),
+                             args.get_or("--key-passphrase", ""));
+  auto trust = tools::load_trust_store(args.get_or("--trust", "ca.pem"));
+  const auto port =
+      static_cast<std::uint16_t>(std::stoi(args.get_or("--port", "7512")));
+  const std::string username = args.get_or("--user", "anonymous");
+  const std::string passphrase =
+      tools::read_passphrase(args, "Enter MyProxy pass phrase");
+
+  // Authenticate with a fresh proxy; ship the long-term credential itself.
+  const gsi::Credential proxy = gsi::create_proxy(source);
+  client::MyProxyClient client(proxy, std::move(trust), port);
+  client::PutOptions options;
+  options.credential_name = args.get_or("--name", "");
+  options.task_tags = args.get_or("--tags", "");
+  client.store(username, passphrase, source, options);
+  std::cout << "Long-term credential for " << source.identity().str()
+            << " stored under user " << username << ".\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const myproxy::tools::Args args(
+      argc, argv,
+      {"--cred", "--trust", "--port", "--user", "--name", "--tags",
+       "--passphrase-file", "--key-passphrase"});
+  return myproxy::tools::run_tool("myproxy-store", [&args] { store(args); });
+}

@@ -1,0 +1,115 @@
+#include "tool_util.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+#include "common/format.hpp"
+#include "pki/certificate.hpp"
+
+namespace myproxy::tools {
+
+Args::Args(int argc, char** argv, std::vector<std::string> value_flags) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const bool takes_value =
+          std::find(value_flags.begin(), value_flags.end(), arg) !=
+          value_flags.end();
+      if (takes_value) {
+        if (i + 1 >= argc) {
+          throw ConfigError(fmt::format("flag {} requires a value", arg));
+        }
+        values_[arg] = argv[++i];
+      } else {
+        switches_.push_back(arg);
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+std::optional<std::string> Args::get(const std::string& flag) const {
+  const auto it = values_.find(flag);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Args::get_or(const std::string& flag, std::string fallback) const {
+  return get(flag).value_or(std::move(fallback));
+}
+
+bool Args::has(const std::string& flag) const {
+  return values_.count(flag) != 0 ||
+         std::find(switches_.begin(), switches_.end(), flag) !=
+             switches_.end();
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError(fmt::format("cannot open {}", path.string()));
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+void write_file(const std::filesystem::path& path, std::string_view content,
+                bool private_mode) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw IoError(fmt::format("cannot write {}", path.string()));
+  out << content;
+  out.close();
+  if (private_mode) {
+    std::error_code ec;
+    std::filesystem::permissions(path,
+                                 std::filesystem::perms::owner_read |
+                                     std::filesystem::perms::owner_write,
+                                 std::filesystem::perm_options::replace, ec);
+  }
+}
+
+std::string read_passphrase(const Args& args, std::string_view prompt) {
+  if (const auto file = args.get("--passphrase-file")) {
+    std::string phrase = read_file(*file);
+    while (!phrase.empty() &&
+           (phrase.back() == '\n' || phrase.back() == '\r')) {
+      phrase.pop_back();
+    }
+    return phrase;
+  }
+  std::cerr << prompt << ": " << std::flush;
+  std::string phrase;
+  std::getline(std::cin, phrase);
+  return phrase;
+}
+
+gsi::Credential load_credential(const std::filesystem::path& path,
+                                std::string_view key_passphrase) {
+  return gsi::Credential::from_pem(read_file(path), key_passphrase);
+}
+
+pki::TrustStore load_trust_store(const std::filesystem::path& path) {
+  pki::TrustStore store;
+  for (const auto& cert :
+       pki::Certificate::chain_from_pem(read_file(path))) {
+    store.add_root(cert);
+  }
+  return store;
+}
+
+int run_tool(std::string_view name, const std::function<void()>& body) {
+  try {
+    body();
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << name << ": " << e.what() << '\n';
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << name << ": unexpected error: " << e.what() << '\n';
+    return 2;
+  }
+}
+
+}  // namespace myproxy::tools
