@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_at_rest.dir/bench_at_rest.cpp.o"
+  "CMakeFiles/bench_at_rest.dir/bench_at_rest.cpp.o.d"
+  "bench_at_rest"
+  "bench_at_rest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_at_rest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_auth_modes.dir/bench_auth_modes.cpp.o"
+  "CMakeFiles/bench_auth_modes.dir/bench_auth_modes.cpp.o.d"
+  "bench_auth_modes"
+  "bench_auth_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_auth_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

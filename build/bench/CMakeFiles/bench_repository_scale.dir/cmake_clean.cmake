@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_repository_scale.dir/bench_repository_scale.cpp.o"
+  "CMakeFiles/bench_repository_scale.dir/bench_repository_scale.cpp.o.d"
+  "bench_repository_scale"
+  "bench_repository_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_repository_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

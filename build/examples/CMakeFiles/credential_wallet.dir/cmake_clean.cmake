@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/credential_wallet.dir/credential_wallet.cpp.o"
+  "CMakeFiles/credential_wallet.dir/credential_wallet.cpp.o.d"
+  "credential_wallet"
+  "credential_wallet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/credential_wallet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

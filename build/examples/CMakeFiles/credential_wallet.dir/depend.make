@@ -1,0 +1,2 @@
+# Empty dependencies file for credential_wallet.
+# This may be replaced when dependencies are built.

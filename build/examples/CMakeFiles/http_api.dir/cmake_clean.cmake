@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_api.dir/http_api.cpp.o"
+  "CMakeFiles/http_api.dir/http_api.cpp.o.d"
+  "http_api"
+  "http_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/job_renewal.dir/job_renewal.cpp.o"
+  "CMakeFiles/job_renewal.dir/job_renewal.cpp.o.d"
+  "job_renewal"
+  "job_renewal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/job_renewal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

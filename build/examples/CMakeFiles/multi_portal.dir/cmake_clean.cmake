@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_portal.dir/multi_portal.cpp.o"
+  "CMakeFiles/multi_portal.dir/multi_portal.cpp.o.d"
+  "multi_portal"
+  "multi_portal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_portal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portal_workflow.dir/portal_workflow.cpp.o"
+  "CMakeFiles/portal_workflow.dir/portal_workflow.cpp.o.d"
+  "portal_workflow"
+  "portal_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portal_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myproxy_client.dir/client/myproxy_client.cpp.o"
+  "CMakeFiles/myproxy_client.dir/client/myproxy_client.cpp.o.d"
+  "libmyproxy_client.a"
+  "libmyproxy_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myproxy_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/clock.cpp" "src/CMakeFiles/myproxy_common.dir/common/clock.cpp.o" "gcc" "src/CMakeFiles/myproxy_common.dir/common/clock.cpp.o.d"
+  "/root/repo/src/common/config.cpp" "src/CMakeFiles/myproxy_common.dir/common/config.cpp.o" "gcc" "src/CMakeFiles/myproxy_common.dir/common/config.cpp.o.d"
+  "/root/repo/src/common/encoding.cpp" "src/CMakeFiles/myproxy_common.dir/common/encoding.cpp.o" "gcc" "src/CMakeFiles/myproxy_common.dir/common/encoding.cpp.o.d"
+  "/root/repo/src/common/error.cpp" "src/CMakeFiles/myproxy_common.dir/common/error.cpp.o" "gcc" "src/CMakeFiles/myproxy_common.dir/common/error.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/CMakeFiles/myproxy_common.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/myproxy_common.dir/common/logging.cpp.o.d"
+  "/root/repo/src/common/secure_buffer.cpp" "src/CMakeFiles/myproxy_common.dir/common/secure_buffer.cpp.o" "gcc" "src/CMakeFiles/myproxy_common.dir/common/secure_buffer.cpp.o.d"
+  "/root/repo/src/common/strings.cpp" "src/CMakeFiles/myproxy_common.dir/common/strings.cpp.o" "gcc" "src/CMakeFiles/myproxy_common.dir/common/strings.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/CMakeFiles/myproxy_common.dir/common/thread_pool.cpp.o" "gcc" "src/CMakeFiles/myproxy_common.dir/common/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

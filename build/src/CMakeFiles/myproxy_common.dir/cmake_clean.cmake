@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myproxy_common.dir/common/clock.cpp.o"
+  "CMakeFiles/myproxy_common.dir/common/clock.cpp.o.d"
+  "CMakeFiles/myproxy_common.dir/common/config.cpp.o"
+  "CMakeFiles/myproxy_common.dir/common/config.cpp.o.d"
+  "CMakeFiles/myproxy_common.dir/common/encoding.cpp.o"
+  "CMakeFiles/myproxy_common.dir/common/encoding.cpp.o.d"
+  "CMakeFiles/myproxy_common.dir/common/error.cpp.o"
+  "CMakeFiles/myproxy_common.dir/common/error.cpp.o.d"
+  "CMakeFiles/myproxy_common.dir/common/logging.cpp.o"
+  "CMakeFiles/myproxy_common.dir/common/logging.cpp.o.d"
+  "CMakeFiles/myproxy_common.dir/common/secure_buffer.cpp.o"
+  "CMakeFiles/myproxy_common.dir/common/secure_buffer.cpp.o.d"
+  "CMakeFiles/myproxy_common.dir/common/strings.cpp.o"
+  "CMakeFiles/myproxy_common.dir/common/strings.cpp.o.d"
+  "CMakeFiles/myproxy_common.dir/common/thread_pool.cpp.o"
+  "CMakeFiles/myproxy_common.dir/common/thread_pool.cpp.o.d"
+  "libmyproxy_common.a"
+  "libmyproxy_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myproxy_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

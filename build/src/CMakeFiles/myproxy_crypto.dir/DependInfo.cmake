@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/digest.cpp" "src/CMakeFiles/myproxy_crypto.dir/crypto/digest.cpp.o" "gcc" "src/CMakeFiles/myproxy_crypto.dir/crypto/digest.cpp.o.d"
+  "/root/repo/src/crypto/kdf.cpp" "src/CMakeFiles/myproxy_crypto.dir/crypto/kdf.cpp.o" "gcc" "src/CMakeFiles/myproxy_crypto.dir/crypto/kdf.cpp.o.d"
+  "/root/repo/src/crypto/key_pair.cpp" "src/CMakeFiles/myproxy_crypto.dir/crypto/key_pair.cpp.o" "gcc" "src/CMakeFiles/myproxy_crypto.dir/crypto/key_pair.cpp.o.d"
+  "/root/repo/src/crypto/openssl_util.cpp" "src/CMakeFiles/myproxy_crypto.dir/crypto/openssl_util.cpp.o" "gcc" "src/CMakeFiles/myproxy_crypto.dir/crypto/openssl_util.cpp.o.d"
+  "/root/repo/src/crypto/random.cpp" "src/CMakeFiles/myproxy_crypto.dir/crypto/random.cpp.o" "gcc" "src/CMakeFiles/myproxy_crypto.dir/crypto/random.cpp.o.d"
+  "/root/repo/src/crypto/symmetric.cpp" "src/CMakeFiles/myproxy_crypto.dir/crypto/symmetric.cpp.o" "gcc" "src/CMakeFiles/myproxy_crypto.dir/crypto/symmetric.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/myproxy_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

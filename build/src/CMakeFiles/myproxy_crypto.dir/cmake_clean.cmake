@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myproxy_crypto.dir/crypto/digest.cpp.o"
+  "CMakeFiles/myproxy_crypto.dir/crypto/digest.cpp.o.d"
+  "CMakeFiles/myproxy_crypto.dir/crypto/kdf.cpp.o"
+  "CMakeFiles/myproxy_crypto.dir/crypto/kdf.cpp.o.d"
+  "CMakeFiles/myproxy_crypto.dir/crypto/key_pair.cpp.o"
+  "CMakeFiles/myproxy_crypto.dir/crypto/key_pair.cpp.o.d"
+  "CMakeFiles/myproxy_crypto.dir/crypto/openssl_util.cpp.o"
+  "CMakeFiles/myproxy_crypto.dir/crypto/openssl_util.cpp.o.d"
+  "CMakeFiles/myproxy_crypto.dir/crypto/random.cpp.o"
+  "CMakeFiles/myproxy_crypto.dir/crypto/random.cpp.o.d"
+  "CMakeFiles/myproxy_crypto.dir/crypto/symmetric.cpp.o"
+  "CMakeFiles/myproxy_crypto.dir/crypto/symmetric.cpp.o.d"
+  "libmyproxy_crypto.a"
+  "libmyproxy_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myproxy_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

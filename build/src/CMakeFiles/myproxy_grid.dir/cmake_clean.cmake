@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myproxy_grid.dir/grid/renewal_service.cpp.o"
+  "CMakeFiles/myproxy_grid.dir/grid/renewal_service.cpp.o.d"
+  "CMakeFiles/myproxy_grid.dir/grid/resource_service.cpp.o"
+  "CMakeFiles/myproxy_grid.dir/grid/resource_service.cpp.o.d"
+  "libmyproxy_grid.a"
+  "libmyproxy_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myproxy_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gsi/acl.cpp" "src/CMakeFiles/myproxy_gsi.dir/gsi/acl.cpp.o" "gcc" "src/CMakeFiles/myproxy_gsi.dir/gsi/acl.cpp.o.d"
+  "/root/repo/src/gsi/credential.cpp" "src/CMakeFiles/myproxy_gsi.dir/gsi/credential.cpp.o" "gcc" "src/CMakeFiles/myproxy_gsi.dir/gsi/credential.cpp.o.d"
+  "/root/repo/src/gsi/gridmap.cpp" "src/CMakeFiles/myproxy_gsi.dir/gsi/gridmap.cpp.o" "gcc" "src/CMakeFiles/myproxy_gsi.dir/gsi/gridmap.cpp.o.d"
+  "/root/repo/src/gsi/proxy.cpp" "src/CMakeFiles/myproxy_gsi.dir/gsi/proxy.cpp.o" "gcc" "src/CMakeFiles/myproxy_gsi.dir/gsi/proxy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/myproxy_pki.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/myproxy_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/myproxy_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myproxy_gsi.dir/gsi/acl.cpp.o"
+  "CMakeFiles/myproxy_gsi.dir/gsi/acl.cpp.o.d"
+  "CMakeFiles/myproxy_gsi.dir/gsi/credential.cpp.o"
+  "CMakeFiles/myproxy_gsi.dir/gsi/credential.cpp.o.d"
+  "CMakeFiles/myproxy_gsi.dir/gsi/gridmap.cpp.o"
+  "CMakeFiles/myproxy_gsi.dir/gsi/gridmap.cpp.o.d"
+  "CMakeFiles/myproxy_gsi.dir/gsi/proxy.cpp.o"
+  "CMakeFiles/myproxy_gsi.dir/gsi/proxy.cpp.o.d"
+  "libmyproxy_gsi.a"
+  "libmyproxy_gsi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myproxy_gsi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myproxy_net.dir/net/channel.cpp.o"
+  "CMakeFiles/myproxy_net.dir/net/channel.cpp.o.d"
+  "CMakeFiles/myproxy_net.dir/net/socket.cpp.o"
+  "CMakeFiles/myproxy_net.dir/net/socket.cpp.o.d"
+  "libmyproxy_net.a"
+  "libmyproxy_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myproxy_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

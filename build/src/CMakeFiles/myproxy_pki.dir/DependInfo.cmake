@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pki/certificate.cpp" "src/CMakeFiles/myproxy_pki.dir/pki/certificate.cpp.o" "gcc" "src/CMakeFiles/myproxy_pki.dir/pki/certificate.cpp.o.d"
+  "/root/repo/src/pki/certificate_authority.cpp" "src/CMakeFiles/myproxy_pki.dir/pki/certificate_authority.cpp.o" "gcc" "src/CMakeFiles/myproxy_pki.dir/pki/certificate_authority.cpp.o.d"
+  "/root/repo/src/pki/certificate_builder.cpp" "src/CMakeFiles/myproxy_pki.dir/pki/certificate_builder.cpp.o" "gcc" "src/CMakeFiles/myproxy_pki.dir/pki/certificate_builder.cpp.o.d"
+  "/root/repo/src/pki/certificate_request.cpp" "src/CMakeFiles/myproxy_pki.dir/pki/certificate_request.cpp.o" "gcc" "src/CMakeFiles/myproxy_pki.dir/pki/certificate_request.cpp.o.d"
+  "/root/repo/src/pki/distinguished_name.cpp" "src/CMakeFiles/myproxy_pki.dir/pki/distinguished_name.cpp.o" "gcc" "src/CMakeFiles/myproxy_pki.dir/pki/distinguished_name.cpp.o.d"
+  "/root/repo/src/pki/proxy_policy.cpp" "src/CMakeFiles/myproxy_pki.dir/pki/proxy_policy.cpp.o" "gcc" "src/CMakeFiles/myproxy_pki.dir/pki/proxy_policy.cpp.o.d"
+  "/root/repo/src/pki/trust_store.cpp" "src/CMakeFiles/myproxy_pki.dir/pki/trust_store.cpp.o" "gcc" "src/CMakeFiles/myproxy_pki.dir/pki/trust_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/myproxy_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/myproxy_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

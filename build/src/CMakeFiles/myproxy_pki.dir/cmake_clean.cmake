@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myproxy_pki.dir/pki/certificate.cpp.o"
+  "CMakeFiles/myproxy_pki.dir/pki/certificate.cpp.o.d"
+  "CMakeFiles/myproxy_pki.dir/pki/certificate_authority.cpp.o"
+  "CMakeFiles/myproxy_pki.dir/pki/certificate_authority.cpp.o.d"
+  "CMakeFiles/myproxy_pki.dir/pki/certificate_builder.cpp.o"
+  "CMakeFiles/myproxy_pki.dir/pki/certificate_builder.cpp.o.d"
+  "CMakeFiles/myproxy_pki.dir/pki/certificate_request.cpp.o"
+  "CMakeFiles/myproxy_pki.dir/pki/certificate_request.cpp.o.d"
+  "CMakeFiles/myproxy_pki.dir/pki/distinguished_name.cpp.o"
+  "CMakeFiles/myproxy_pki.dir/pki/distinguished_name.cpp.o.d"
+  "CMakeFiles/myproxy_pki.dir/pki/proxy_policy.cpp.o"
+  "CMakeFiles/myproxy_pki.dir/pki/proxy_policy.cpp.o.d"
+  "CMakeFiles/myproxy_pki.dir/pki/trust_store.cpp.o"
+  "CMakeFiles/myproxy_pki.dir/pki/trust_store.cpp.o.d"
+  "libmyproxy_pki.a"
+  "libmyproxy_pki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myproxy_pki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myproxy_portal.dir/portal/grid_portal.cpp.o"
+  "CMakeFiles/myproxy_portal.dir/portal/grid_portal.cpp.o.d"
+  "CMakeFiles/myproxy_portal.dir/portal/session.cpp.o"
+  "CMakeFiles/myproxy_portal.dir/portal/session.cpp.o.d"
+  "libmyproxy_portal.a"
+  "libmyproxy_portal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myproxy_portal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

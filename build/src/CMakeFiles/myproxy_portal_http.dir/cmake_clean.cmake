@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myproxy_portal_http.dir/portal/http.cpp.o"
+  "CMakeFiles/myproxy_portal_http.dir/portal/http.cpp.o.d"
+  "libmyproxy_portal_http.a"
+  "libmyproxy_portal_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myproxy_portal_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myproxy_protocol.dir/protocol/message.cpp.o"
+  "CMakeFiles/myproxy_protocol.dir/protocol/message.cpp.o.d"
+  "libmyproxy_protocol.a"
+  "libmyproxy_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myproxy_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmyproxy_protocol.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myproxy_repository.dir/repository/credential_store.cpp.o"
+  "CMakeFiles/myproxy_repository.dir/repository/credential_store.cpp.o.d"
+  "CMakeFiles/myproxy_repository.dir/repository/otp.cpp.o"
+  "CMakeFiles/myproxy_repository.dir/repository/otp.cpp.o.d"
+  "CMakeFiles/myproxy_repository.dir/repository/passphrase_policy.cpp.o"
+  "CMakeFiles/myproxy_repository.dir/repository/passphrase_policy.cpp.o.d"
+  "CMakeFiles/myproxy_repository.dir/repository/repository.cpp.o"
+  "CMakeFiles/myproxy_repository.dir/repository/repository.cpp.o.d"
+  "libmyproxy_repository.a"
+  "libmyproxy_repository.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myproxy_repository.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myproxy_server.dir/server/audit_log.cpp.o"
+  "CMakeFiles/myproxy_server.dir/server/audit_log.cpp.o.d"
+  "CMakeFiles/myproxy_server.dir/server/http_gateway.cpp.o"
+  "CMakeFiles/myproxy_server.dir/server/http_gateway.cpp.o.d"
+  "CMakeFiles/myproxy_server.dir/server/myproxy_server.cpp.o"
+  "CMakeFiles/myproxy_server.dir/server/myproxy_server.cpp.o.d"
+  "libmyproxy_server.a"
+  "libmyproxy_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myproxy_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myproxy_tls.dir/tls/tls_channel.cpp.o"
+  "CMakeFiles/myproxy_tls.dir/tls/tls_channel.cpp.o.d"
+  "libmyproxy_tls.a"
+  "libmyproxy_tls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myproxy_tls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

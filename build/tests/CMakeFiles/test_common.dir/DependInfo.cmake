@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/clock_test.cpp" "tests/CMakeFiles/test_common.dir/common/clock_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/clock_test.cpp.o.d"
+  "/root/repo/tests/common/config_test.cpp" "tests/CMakeFiles/test_common.dir/common/config_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/config_test.cpp.o.d"
+  "/root/repo/tests/common/encoding_test.cpp" "tests/CMakeFiles/test_common.dir/common/encoding_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/encoding_test.cpp.o.d"
+  "/root/repo/tests/common/logging_test.cpp" "tests/CMakeFiles/test_common.dir/common/logging_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/logging_test.cpp.o.d"
+  "/root/repo/tests/common/secure_buffer_test.cpp" "tests/CMakeFiles/test_common.dir/common/secure_buffer_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/secure_buffer_test.cpp.o.d"
+  "/root/repo/tests/common/strings_test.cpp" "tests/CMakeFiles/test_common.dir/common/strings_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/strings_test.cpp.o.d"
+  "/root/repo/tests/common/thread_pool_test.cpp" "tests/CMakeFiles/test_common.dir/common/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/thread_pool_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/myproxy_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

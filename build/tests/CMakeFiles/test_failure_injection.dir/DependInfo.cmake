@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/failure_injection_test.cpp" "tests/CMakeFiles/test_failure_injection.dir/integration/failure_injection_test.cpp.o" "gcc" "tests/CMakeFiles/test_failure_injection.dir/integration/failure_injection_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/myproxy_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/myproxy_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/myproxy_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/myproxy_repository.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/myproxy_portal_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/myproxy_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/myproxy_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/myproxy_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/myproxy_gsi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/myproxy_pki.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/myproxy_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

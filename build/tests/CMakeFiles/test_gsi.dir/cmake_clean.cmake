@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gsi.dir/gsi/credential_test.cpp.o"
+  "CMakeFiles/test_gsi.dir/gsi/credential_test.cpp.o.d"
+  "CMakeFiles/test_gsi.dir/gsi/gridmap_acl_test.cpp.o"
+  "CMakeFiles/test_gsi.dir/gsi/gridmap_acl_test.cpp.o.d"
+  "CMakeFiles/test_gsi.dir/gsi/proxy_test.cpp.o"
+  "CMakeFiles/test_gsi.dir/gsi/proxy_test.cpp.o.d"
+  "test_gsi"
+  "test_gsi.pdb"
+  "test_gsi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gsi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_http_gateway.dir/integration/http_gateway_test.cpp.o"
+  "CMakeFiles/test_http_gateway.dir/integration/http_gateway_test.cpp.o.d"
+  "test_http_gateway"
+  "test_http_gateway.pdb"
+  "test_http_gateway[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_http_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

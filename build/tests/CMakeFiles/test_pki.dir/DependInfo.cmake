@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pki/certificate_authority_test.cpp" "tests/CMakeFiles/test_pki.dir/pki/certificate_authority_test.cpp.o" "gcc" "tests/CMakeFiles/test_pki.dir/pki/certificate_authority_test.cpp.o.d"
+  "/root/repo/tests/pki/certificate_test.cpp" "tests/CMakeFiles/test_pki.dir/pki/certificate_test.cpp.o" "gcc" "tests/CMakeFiles/test_pki.dir/pki/certificate_test.cpp.o.d"
+  "/root/repo/tests/pki/distinguished_name_test.cpp" "tests/CMakeFiles/test_pki.dir/pki/distinguished_name_test.cpp.o" "gcc" "tests/CMakeFiles/test_pki.dir/pki/distinguished_name_test.cpp.o.d"
+  "/root/repo/tests/pki/proxy_policy_test.cpp" "tests/CMakeFiles/test_pki.dir/pki/proxy_policy_test.cpp.o" "gcc" "tests/CMakeFiles/test_pki.dir/pki/proxy_policy_test.cpp.o.d"
+  "/root/repo/tests/pki/trust_store_test.cpp" "tests/CMakeFiles/test_pki.dir/pki/trust_store_test.cpp.o" "gcc" "tests/CMakeFiles/test_pki.dir/pki/trust_store_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/myproxy_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/myproxy_pki.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/myproxy_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

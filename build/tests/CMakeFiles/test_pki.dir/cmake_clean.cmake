@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pki.dir/pki/certificate_authority_test.cpp.o"
+  "CMakeFiles/test_pki.dir/pki/certificate_authority_test.cpp.o.d"
+  "CMakeFiles/test_pki.dir/pki/certificate_test.cpp.o"
+  "CMakeFiles/test_pki.dir/pki/certificate_test.cpp.o.d"
+  "CMakeFiles/test_pki.dir/pki/distinguished_name_test.cpp.o"
+  "CMakeFiles/test_pki.dir/pki/distinguished_name_test.cpp.o.d"
+  "CMakeFiles/test_pki.dir/pki/proxy_policy_test.cpp.o"
+  "CMakeFiles/test_pki.dir/pki/proxy_policy_test.cpp.o.d"
+  "CMakeFiles/test_pki.dir/pki/trust_store_test.cpp.o"
+  "CMakeFiles/test_pki.dir/pki/trust_store_test.cpp.o.d"
+  "test_pki"
+  "test_pki.pdb"
+  "test_pki[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

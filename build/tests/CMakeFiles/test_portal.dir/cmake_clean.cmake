@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_portal.dir/portal/grid_portal_test.cpp.o"
+  "CMakeFiles/test_portal.dir/portal/grid_portal_test.cpp.o.d"
+  "CMakeFiles/test_portal.dir/portal/http_test.cpp.o"
+  "CMakeFiles/test_portal.dir/portal/http_test.cpp.o.d"
+  "CMakeFiles/test_portal.dir/portal/session_test.cpp.o"
+  "CMakeFiles/test_portal.dir/portal/session_test.cpp.o.d"
+  "test_portal"
+  "test_portal.pdb"
+  "test_portal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_portal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_repository.dir/repository/credential_store_test.cpp.o"
+  "CMakeFiles/test_repository.dir/repository/credential_store_test.cpp.o.d"
+  "CMakeFiles/test_repository.dir/repository/otp_test.cpp.o"
+  "CMakeFiles/test_repository.dir/repository/otp_test.cpp.o.d"
+  "CMakeFiles/test_repository.dir/repository/passphrase_policy_test.cpp.o"
+  "CMakeFiles/test_repository.dir/repository/passphrase_policy_test.cpp.o.d"
+  "CMakeFiles/test_repository.dir/repository/repository_concurrency_test.cpp.o"
+  "CMakeFiles/test_repository.dir/repository/repository_concurrency_test.cpp.o.d"
+  "CMakeFiles/test_repository.dir/repository/repository_test.cpp.o"
+  "CMakeFiles/test_repository.dir/repository/repository_test.cpp.o.d"
+  "test_repository"
+  "test_repository.pdb"
+  "test_repository[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_repository.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

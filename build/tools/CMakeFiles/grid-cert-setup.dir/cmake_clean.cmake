@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid-cert-setup.dir/grid_cert_setup.cpp.o"
+  "CMakeFiles/grid-cert-setup.dir/grid_cert_setup.cpp.o.d"
+  "grid-cert-setup"
+  "grid-cert-setup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid-cert-setup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for grid-cert-setup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid-proxy-info.dir/grid_proxy_info_main.cpp.o"
+  "CMakeFiles/grid-proxy-info.dir/grid_proxy_info_main.cpp.o.d"
+  "grid-proxy-info"
+  "grid-proxy-info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid-proxy-info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid-proxy-init.dir/grid_proxy_init_main.cpp.o"
+  "CMakeFiles/grid-proxy-init.dir/grid_proxy_init_main.cpp.o.d"
+  "grid-proxy-init"
+  "grid-proxy-init.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid-proxy-init.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myproxy-admin-query.dir/myproxy_admin_query_main.cpp.o"
+  "CMakeFiles/myproxy-admin-query.dir/myproxy_admin_query_main.cpp.o.d"
+  "myproxy-admin-query"
+  "myproxy-admin-query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myproxy-admin-query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

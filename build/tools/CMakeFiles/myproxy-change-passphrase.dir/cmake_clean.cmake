@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myproxy-change-passphrase.dir/myproxy_change_passphrase_main.cpp.o"
+  "CMakeFiles/myproxy-change-passphrase.dir/myproxy_change_passphrase_main.cpp.o.d"
+  "myproxy-change-passphrase"
+  "myproxy-change-passphrase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myproxy-change-passphrase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myproxy-destroy.dir/myproxy_destroy_main.cpp.o"
+  "CMakeFiles/myproxy-destroy.dir/myproxy_destroy_main.cpp.o.d"
+  "myproxy-destroy"
+  "myproxy-destroy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myproxy-destroy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myproxy-get-delegation.dir/myproxy_get_delegation_main.cpp.o"
+  "CMakeFiles/myproxy-get-delegation.dir/myproxy_get_delegation_main.cpp.o.d"
+  "myproxy-get-delegation"
+  "myproxy-get-delegation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myproxy-get-delegation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

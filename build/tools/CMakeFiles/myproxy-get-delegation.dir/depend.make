@@ -1,0 +1,2 @@
+# Empty dependencies file for myproxy-get-delegation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myproxy-info.dir/myproxy_info_main.cpp.o"
+  "CMakeFiles/myproxy-info.dir/myproxy_info_main.cpp.o.d"
+  "myproxy-info"
+  "myproxy-info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myproxy-info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

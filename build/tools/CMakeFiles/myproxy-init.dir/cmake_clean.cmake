@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myproxy-init.dir/myproxy_init_main.cpp.o"
+  "CMakeFiles/myproxy-init.dir/myproxy_init_main.cpp.o.d"
+  "myproxy-init"
+  "myproxy-init.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myproxy-init.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

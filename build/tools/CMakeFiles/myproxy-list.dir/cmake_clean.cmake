@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myproxy-list.dir/myproxy_list_main.cpp.o"
+  "CMakeFiles/myproxy-list.dir/myproxy_list_main.cpp.o.d"
+  "myproxy-list"
+  "myproxy-list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myproxy-list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

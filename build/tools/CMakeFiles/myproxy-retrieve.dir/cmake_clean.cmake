@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myproxy-retrieve.dir/myproxy_retrieve_main.cpp.o"
+  "CMakeFiles/myproxy-retrieve.dir/myproxy_retrieve_main.cpp.o.d"
+  "myproxy-retrieve"
+  "myproxy-retrieve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myproxy-retrieve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

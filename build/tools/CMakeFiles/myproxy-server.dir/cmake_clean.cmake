@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myproxy-server.dir/myproxy_server_main.cpp.o"
+  "CMakeFiles/myproxy-server.dir/myproxy_server_main.cpp.o.d"
+  "myproxy-server"
+  "myproxy-server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myproxy-server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

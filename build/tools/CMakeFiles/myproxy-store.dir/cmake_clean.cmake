@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myproxy-store.dir/myproxy_store_main.cpp.o"
+  "CMakeFiles/myproxy-store.dir/myproxy_store_main.cpp.o.d"
+  "myproxy-store"
+  "myproxy-store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myproxy-store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

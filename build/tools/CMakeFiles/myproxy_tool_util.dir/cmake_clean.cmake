@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myproxy_tool_util.dir/tool_util.cpp.o"
+  "CMakeFiles/myproxy_tool_util.dir/tool_util.cpp.o.d"
+  "libmyproxy_tool_util.a"
+  "libmyproxy_tool_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myproxy_tool_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

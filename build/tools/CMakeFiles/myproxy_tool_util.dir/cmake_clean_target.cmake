@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmyproxy_tool_util.a"
+)
