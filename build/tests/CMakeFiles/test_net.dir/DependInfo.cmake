@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/net/channel_test.cpp" "tests/CMakeFiles/test_net.dir/net/channel_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/channel_test.cpp.o.d"
+  "/root/repo/tests/net/socket_timeout_test.cpp" "tests/CMakeFiles/test_net.dir/net/socket_timeout_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/socket_timeout_test.cpp.o.d"
   )
 
 # Targets to which this target links.

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/test_net.dir/net/channel_test.cpp.o"
   "CMakeFiles/test_net.dir/net/channel_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/socket_timeout_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/socket_timeout_test.cpp.o.d"
   "test_net"
   "test_net.pdb"
   "test_net[1]_tests.cmake"

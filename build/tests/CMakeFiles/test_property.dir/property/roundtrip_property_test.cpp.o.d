@@ -326,7 +326,6 @@ tests/CMakeFiles/test_property.dir/property/roundtrip_property_test.cpp.o: \
  /root/repo/src/crypto/symmetric.hpp \
  /root/repo/src/common/secure_buffer.hpp /usr/include/c++/12/cstring \
  /root/repo/src/net/channel.hpp /root/repo/src/net/socket.hpp \
- /root/repo/src/pki/distinguished_name.hpp \
- /root/repo/src/protocol/message.hpp /root/repo/src/common/clock.hpp \
  /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio
+ /usr/include/c++/12/ratio /root/repo/src/pki/distinguished_name.hpp \
+ /root/repo/src/protocol/message.hpp /root/repo/src/common/clock.hpp

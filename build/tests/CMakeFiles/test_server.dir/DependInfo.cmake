@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/server/audit_log_test.cpp" "tests/CMakeFiles/test_server.dir/server/audit_log_test.cpp.o" "gcc" "tests/CMakeFiles/test_server.dir/server/audit_log_test.cpp.o.d"
+  "/root/repo/tests/server/shutdown_latency_test.cpp" "tests/CMakeFiles/test_server.dir/server/shutdown_latency_test.cpp.o" "gcc" "tests/CMakeFiles/test_server.dir/server/shutdown_latency_test.cpp.o.d"
   )
 
 # Targets to which this target links.

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/test_server.dir/server/audit_log_test.cpp.o"
   "CMakeFiles/test_server.dir/server/audit_log_test.cpp.o.d"
+  "CMakeFiles/test_server.dir/server/shutdown_latency_test.cpp.o"
+  "CMakeFiles/test_server.dir/server/shutdown_latency_test.cpp.o.d"
   "test_server"
   "test_server.pdb"
   "test_server[1]_tests.cmake"

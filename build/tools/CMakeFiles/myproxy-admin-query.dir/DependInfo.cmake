@@ -15,6 +15,10 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/tools/CMakeFiles/myproxy_tool_util.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/myproxy_repository.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/myproxy_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/myproxy_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/myproxy_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/myproxy_protocol.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/myproxy_gsi.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/myproxy_pki.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/myproxy_crypto.dir/DependInfo.cmake"

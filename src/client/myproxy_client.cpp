@@ -1,5 +1,9 @@
 #include "client/myproxy_client.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
 #include "common/error.hpp"
 #include "common/format.hpp"
 #include "common/logging.hpp"
@@ -28,15 +32,19 @@ std::int64_t field_int(const Response& response, const std::string& key) {
 }  // namespace
 
 MyProxyClient::MyProxyClient(gsi::Credential credential,
-                             pki::TrustStore trust_store, std::uint16_t port)
+                             pki::TrustStore trust_store, std::uint16_t port,
+                             RetryPolicy retry_policy)
     : credential_(std::move(credential)),
       trust_store_(std::move(trust_store)),
       tls_context_(tls::TlsContext::make(credential_)),
-      port_(port) {}
+      port_(port),
+      retry_policy_(retry_policy),
+      jitter_rng_(std::random_device{}()) {}
 
-std::unique_ptr<tls::TlsChannel> MyProxyClient::connect() {
-  auto channel =
-      tls::TlsChannel::connect(tls_context_, net::tcp_connect(port_));
+std::unique_ptr<tls::TlsChannel> MyProxyClient::connect_once() {
+  auto channel = tls::TlsChannel::connect(
+      tls_context_, net::tcp_connect(port_, retry_policy_.connect_timeout),
+      retry_policy_.io_timeout);
   // Mutual authentication (§5.1): verify the repository's credentials so a
   // fake server cannot harvest pass phrases.
   const pki::VerifiedIdentity server =
@@ -45,6 +53,44 @@ std::unique_ptr<tls::TlsChannel> MyProxyClient::connect() {
   log::debug(kLogComponent, "connected to repository '{}'",
              server.identity.str());
   return channel;
+}
+
+Millis MyProxyClient::backoff_for_attempt(int attempt) {
+  double delay = static_cast<double>(retry_policy_.initial_backoff.count());
+  for (int i = 1; i < attempt; ++i) delay *= retry_policy_.backoff_multiplier;
+  delay = std::min(delay,
+                   static_cast<double>(retry_policy_.max_backoff.count()));
+  if (retry_policy_.jitter > 0.0) {
+    std::uniform_real_distribution<double> scale(
+        1.0 - retry_policy_.jitter, 1.0 + retry_policy_.jitter);
+    delay *= scale(jitter_rng_);
+  }
+  return Millis(std::max<std::int64_t>(0, std::llround(delay)));
+}
+
+std::unique_ptr<tls::TlsChannel> MyProxyClient::connect() {
+  const int attempts = std::max(1, retry_policy_.max_attempts);
+  std::string last_error;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    try {
+      return connect_once();
+    } catch (const IoError& e) {
+      // Transient transport failure (connection refused, deadline expired,
+      // handshake torn down). Verification/authentication failures are NOT
+      // IoError and propagate immediately — retrying cannot fix a server
+      // that fails mutual authentication.
+      last_error = e.what();
+      if (attempt == attempts) break;
+      const Millis delay = backoff_for_attempt(attempt);
+      log::warn(kLogComponent,
+                "connection attempt {}/{} failed ({}); retrying in {} ms",
+                attempt, attempts, last_error, delay.count());
+      std::this_thread::sleep_for(delay);
+    }
+  }
+  throw IoError(fmt::format(
+      "could not reach repository on port {} after {} attempt(s): {}", port_,
+      attempts, last_error));
 }
 
 Response MyProxyClient::transact(tls::TlsChannel& channel,

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -50,6 +51,31 @@ struct GetOptions {
   crypto::KeySpec key_spec = crypto::KeySpec::ec();
 };
 
+/// Connection robustness policy: deadlines for one attempt plus retry with
+/// exponential backoff and jitter across attempts. Only the connect/
+/// handshake phase is retried — no request bytes have been sent yet, so a
+/// retry can never replay a half-finished command.
+struct RetryPolicy {
+  /// Total connection attempts (1 = no retry).
+  int max_attempts = 3;
+
+  /// Backoff before the second attempt; doubles each retry (capped below).
+  Millis initial_backoff{100};
+  Millis max_backoff{2000};
+  double backoff_multiplier = 2.0;
+
+  /// Multiplicative jitter: each sleep is scaled by a random factor in
+  /// [1 - jitter, 1 + jitter] so synchronized clients do not stampede.
+  double jitter = 0.2;
+
+  /// Deadline for the TCP three-way handshake of one attempt (0 = none).
+  Millis connect_timeout{10000};
+
+  /// Per-read/per-write deadline for the TLS handshake and all subsequent
+  /// protocol I/O (0 = none): a stalled repository cannot hang the client.
+  Millis io_timeout{30000};
+};
+
 /// INFO result (metadata only; never key material).
 struct StoredCredentialInfo {
   std::string owner_dn;
@@ -70,7 +96,15 @@ class MyProxyClient {
   /// repository in return (§5.1: "prevents an attacker from impersonating
   /// the repository").
   MyProxyClient(gsi::Credential credential, pki::TrustStore trust_store,
-                std::uint16_t port);
+                std::uint16_t port, RetryPolicy retry_policy = {});
+
+  /// Adjust deadlines/retry after construction (tools wire CLI flags here).
+  void set_retry_policy(RetryPolicy policy) {
+    retry_policy_ = std::move(policy);
+  }
+  [[nodiscard]] const RetryPolicy& retry_policy() const {
+    return retry_policy_;
+  }
 
   /// myproxy-init: create a proxy from `source` and delegate it to the
   /// repository under (`username`, `pass_phrase`).
@@ -126,7 +160,15 @@ class MyProxyClient {
 
  private:
   /// Open a connection, run the TLS handshake, authenticate the server.
+  /// Transient transport failures (refused, timed out, handshake broken)
+  /// are retried per retry_policy_; authentication failures are not.
   [[nodiscard]] std::unique_ptr<tls::TlsChannel> connect();
+
+  /// One connection attempt with the policy's deadlines applied.
+  [[nodiscard]] std::unique_ptr<tls::TlsChannel> connect_once();
+
+  /// Backoff duration before attempt number `attempt` (1-based).
+  [[nodiscard]] Millis backoff_for_attempt(int attempt);
 
   /// Send a request and insist on an OK first response.
   [[nodiscard]] protocol::Response transact(tls::TlsChannel& channel,
@@ -136,6 +178,8 @@ class MyProxyClient {
   pki::TrustStore trust_store_;
   tls::TlsContext tls_context_;
   std::uint16_t port_;
+  RetryPolicy retry_policy_;
+  std::mt19937 jitter_rng_;
   std::optional<pki::DistinguishedName> server_identity_;
 };
 

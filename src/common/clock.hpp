@@ -13,6 +13,7 @@ namespace myproxy {
 using Clock = std::chrono::system_clock;
 using TimePoint = Clock::time_point;
 using Seconds = std::chrono::seconds;
+using Millis = std::chrono::milliseconds;
 
 /// Paper defaults (§4.1, §4.3): credentials delegated to the repository live
 /// a week; credentials delegated *from* the repository to a portal live a

@@ -28,6 +28,8 @@ std::string_view to_string(ErrorCode code) noexcept {
       return "protocol";
     case ErrorCode::kConfig:
       return "config";
+    case ErrorCode::kTimeout:
+      return "timeout";
   }
   return "unknown";
 }

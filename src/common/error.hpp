@@ -27,6 +27,7 @@ enum class ErrorCode {
   kExpired,         ///< credential lifetime exhausted
   kProtocol,        ///< peer violated the wire protocol
   kConfig,          ///< invalid configuration
+  kTimeout,         ///< I/O deadline expired (slow or stalled peer)
 };
 
 /// Human-readable name of an ErrorCode (e.g. "crypto", "authorization").
@@ -57,6 +58,19 @@ class IoError : public Error {
  public:
   explicit IoError(const std::string& message)
       : Error(ErrorCode::kIo, message) {}
+
+ protected:
+  IoError(ErrorCode code, const std::string& message)
+      : Error(code, message) {}
+};
+
+/// An I/O deadline expired. Derives from IoError so transport-level catch
+/// sites keep working, but carries its own code so callers can distinguish
+/// "the peer is slow/stalled" from "the connection is broken".
+class IoTimeout : public IoError {
+ public:
+  explicit IoTimeout(const std::string& message)
+      : IoError(ErrorCode::kTimeout, message) {}
 };
 
 class ParseError : public Error {

@@ -35,6 +35,23 @@ bool ThreadPool::submit(std::function<void()> task) {
   return true;
 }
 
+bool ThreadPool::try_submit(std::function<void()> task) {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (stopping_) return false;
+    if (max_queue_ != 0 && queue_.size() >= max_queue_) return false;
+    queue_.push_back(std::move(task));
+    ++submitted_;
+  }
+  cv_task_.notify_one();
+  return true;
+}
+
+std::size_t ThreadPool::pending() const {
+  const std::scoped_lock lock(mutex_);
+  return queue_.size();
+}
+
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });

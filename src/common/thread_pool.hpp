@@ -31,6 +31,14 @@ class ThreadPool {
   /// the pool is shutting down (task not enqueued).
   bool submit(std::function<void()> task);
 
+  /// Non-blocking submit: returns false immediately (task not enqueued)
+  /// when the queue is at capacity or the pool is shutting down. Lets an
+  /// accept loop shed load instead of stalling behind a saturated pool.
+  bool try_submit(std::function<void()> task);
+
+  /// Queued-but-not-started task count (for stats/tests).
+  [[nodiscard]] std::size_t pending() const;
+
   /// Blocks until every queued and running task has finished.
   void wait_idle();
 

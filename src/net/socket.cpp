@@ -1,8 +1,10 @@
 #include "net/socket.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -20,6 +22,19 @@ namespace {
   throw IoError(fmt::format("{}: {}", what, std::strerror(errno)));
 }
 
+/// EAGAIN/EWOULDBLOCK on a socket with SO_RCVTIMEO/SO_SNDTIMEO armed means
+/// the deadline expired, not that the connection broke.
+bool errno_is_timeout() {
+  return errno == EAGAIN || errno == EWOULDBLOCK;
+}
+
+timeval to_timeval(std::chrono::milliseconds timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  return tv;
+}
+
 }  // namespace
 
 void Socket::write_all(std::string_view data) {
@@ -30,6 +45,10 @@ void Socket::write_all(std::string_view data) {
         ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno_is_timeout()) {
+        throw IoTimeout(fmt::format(
+            "send deadline expired ({} of {} bytes sent)", sent, data.size()));
+      }
       throw_errno("send");
     }
     sent += static_cast<std::size_t>(n);
@@ -44,6 +63,10 @@ std::string Socket::read_exact(std::size_t n) {
     const ssize_t r = ::recv(fd_, out.data() + got, n - got, 0);
     if (r < 0) {
       if (errno == EINTR) continue;
+      if (errno_is_timeout()) {
+        throw IoTimeout(fmt::format(
+            "receive deadline expired ({} of {} bytes read)", got, n));
+      }
       throw_errno("recv");
     }
     if (r == 0) {
@@ -62,10 +85,27 @@ std::string Socket::read_some(std::size_t n) {
     const ssize_t r = ::recv(fd_, out.data(), n, 0);
     if (r < 0) {
       if (errno == EINTR) continue;
+      if (errno_is_timeout()) throw IoTimeout("receive deadline expired");
       throw_errno("recv");
     }
     out.resize(static_cast<std::size_t>(r));
     return out;
+  }
+}
+
+void Socket::set_read_timeout(std::chrono::milliseconds timeout) {
+  if (!valid()) throw IoError("set_read_timeout on closed socket");
+  const timeval tv = to_timeval(timeout);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    throw_errno("setsockopt(SO_RCVTIMEO)");
+  }
+}
+
+void Socket::set_write_timeout(std::chrono::milliseconds timeout) {
+  if (!valid()) throw IoError("set_write_timeout on closed socket");
+  const timeval tv = to_timeval(timeout);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    throw_errno("setsockopt(SO_SNDTIMEO)");
   }
 }
 
@@ -94,7 +134,9 @@ TcpListener TcpListener::bind(std::uint16_t port) {
   Socket socket(fd);
 
   const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
+    throw_errno("setsockopt(SO_REUSEADDR)");
+  }
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -110,6 +152,10 @@ TcpListener TcpListener::bind(std::uint16_t port) {
     throw_errno("getsockname");
   }
   return TcpListener(std::move(socket), ntohs(addr.sin_port));
+}
+
+void TcpListener::shutdown() noexcept {
+  if (socket_.valid()) ::shutdown(socket_.fd(), SHUT_RDWR);
 }
 
 void TcpListener::close() noexcept {
@@ -128,7 +174,7 @@ Socket TcpListener::accept() {
   return Socket(fd);
 }
 
-Socket tcp_connect(std::uint16_t port) {
+Socket tcp_connect(std::uint16_t port, std::chrono::milliseconds timeout) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw_errno("socket");
   Socket socket(fd);
@@ -137,9 +183,46 @@ Socket tcp_connect(std::uint16_t port) {
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    throw_errno("connect");
+
+  if (timeout.count() <= 0) {
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      throw_errno("connect");
+    }
+  } else {
+    // Bounded connect: flip to non-blocking, start the handshake, poll for
+    // writability, then restore blocking mode for the rest of the session.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0) throw_errno("fcntl(F_GETFL)");
+    if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+      throw_errno("fcntl(F_SETFL)");
+    }
+    const int rc =
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc != 0) {
+      if (errno != EINPROGRESS) throw_errno("connect");
+      pollfd pfd{fd, POLLOUT, 0};
+      int polled;
+      do {
+        polled = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+      } while (polled < 0 && errno == EINTR);
+      if (polled < 0) throw_errno("poll(connect)");
+      if (polled == 0) {
+        throw IoTimeout(fmt::format(
+            "connect to port {} timed out after {} ms", port,
+            timeout.count()));
+      }
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0) {
+        throw_errno("getsockopt(SO_ERROR)");
+      }
+      if (so_error != 0) {
+        throw IoError(fmt::format("connect: {}", std::strerror(so_error)));
+      }
+    }
+    if (::fcntl(fd, F_SETFL, flags) != 0) throw_errno("fcntl(F_SETFL)");
   }
+
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return socket;

@@ -2,6 +2,7 @@
 // the transport under the TLS layer; nothing here knows about GSI.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -39,6 +40,21 @@ class Socket {
   /// Read up to `n` bytes; returns empty string on orderly EOF.
   [[nodiscard]] std::string read_some(std::size_t n);
 
+  /// Arm a per-read deadline (SO_RCVTIMEO): any single recv that makes no
+  /// progress for `timeout` fails with IoTimeout. Zero clears the deadline.
+  /// Applies to everything layered on this descriptor, including TLS reads.
+  void set_read_timeout(std::chrono::milliseconds timeout);
+
+  /// Arm a per-write deadline (SO_SNDTIMEO); zero clears it.
+  void set_write_timeout(std::chrono::milliseconds timeout);
+
+  /// Convenience: arm both deadlines at once.
+  void set_deadlines(std::chrono::milliseconds read,
+                     std::chrono::milliseconds write) {
+    set_read_timeout(read);
+    set_write_timeout(write);
+  }
+
   /// Shut down writing (sends FIN) without closing the descriptor.
   void shutdown_send() noexcept;
 
@@ -70,9 +86,17 @@ class TcpListener {
   /// closed from another thread (the server-shutdown path).
   [[nodiscard]] Socket accept();
 
+  /// Unblock any accept() blocked in another thread WITHOUT invalidating
+  /// the descriptor: a pure read of the fd, so it is safe to call while
+  /// another thread is inside accept(). The blocked accept() returns with
+  /// an error. Call close() after joining that thread.
+  void shutdown() noexcept;
+
   /// Unblock any accept() blocked in another thread and invalidate the
   /// listener. (shutdown() is what actually interrupts accept() on Linux;
-  /// close() alone leaves the accepting thread blocked.)
+  /// close() alone leaves the accepting thread blocked.) Note close()
+  /// rewrites the fd and must not race a concurrent accept() — prefer
+  /// shutdown(), join, then close() for cross-thread teardown.
   void close() noexcept;
 
  private:
@@ -83,7 +107,9 @@ class TcpListener {
 };
 
 /// Connect to 127.0.0.1:`port` (the reproduction runs single-host; see
-/// DESIGN.md substitutions).
-[[nodiscard]] Socket tcp_connect(std::uint16_t port);
+/// DESIGN.md substitutions). A non-zero `timeout` bounds the three-way
+/// handshake: expiry raises IoTimeout instead of blocking indefinitely.
+[[nodiscard]] Socket tcp_connect(
+    std::uint16_t port, std::chrono::milliseconds timeout = {});
 
 }  // namespace myproxy::net

@@ -56,8 +56,10 @@ MyProxyServer::~MyProxyServer() { stop(); }
 void MyProxyServer::start() {
   listener_.emplace(net::TcpListener::bind(config_.port));
   port_ = listener_->port();
-  pool_ = std::make_unique<ThreadPool>(config_.worker_threads,
-                                       /*max_queue=*/256);
+  pool_ = std::make_unique<ThreadPool>(
+      config_.worker_threads,
+      config_.max_pending_connections == 0 ? 256
+                                           : config_.max_pending_connections);
   accept_thread_ = std::thread([this] { accept_loop(); });
   if (config_.sweep_interval > Seconds(0)) {
     sweep_thread_ = std::thread([this] {
@@ -78,11 +80,24 @@ void MyProxyServer::start() {
 
 void MyProxyServer::stop() {
   if (stopping_.exchange(true)) return;
-  stop_cv_.notify_all();
-  if (listener_.has_value()) listener_->close();
+  {
+    // Notify while holding the mutex: without it the sweep thread can check
+    // its predicate, miss this notify, and then sleep a full sweep_interval
+    // before noticing stopping_ (lost-wakeup race). Holding the lock means
+    // the sweeper is either before the predicate check (and will see
+    // stopping_ == true) or already parked in wait_for (and gets the
+    // notification).
+    const std::scoped_lock lock(stop_mutex_);
+    stop_cv_.notify_all();
+  }
+  // Wake the accept thread with shutdown() (a read of the fd); close(),
+  // which rewrites the fd, must wait until after the join or it races the
+  // accept thread's own reads of the descriptor.
+  if (listener_.has_value()) listener_->shutdown();
   if (accept_thread_.joinable()) accept_thread_.join();
   if (sweep_thread_.joinable()) sweep_thread_.join();
   pool_.reset();  // drains and joins workers
+  if (listener_.has_value()) listener_->close();
   log::info(kLogComponent, "myproxy-server stopped");
 }
 
@@ -95,17 +110,59 @@ void MyProxyServer::accept_loop() {
       // Listener closed during shutdown.
       break;
     }
+    if (config_.max_connections != 0 &&
+        in_flight_.load(std::memory_order_relaxed) >=
+            config_.max_connections) {
+      shed_connection(std::move(socket), "connection limit reached");
+      continue;
+    }
     auto shared = std::make_shared<net::Socket>(std::move(socket));
-    pool_->submit([this, shared]() mutable {
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+    const bool queued = pool_->try_submit([this, shared]() mutable {
       handle_connection(std::move(*shared));
+      in_flight_.fetch_sub(1, std::memory_order_relaxed);
     });
+    if (!queued) {
+      in_flight_.fetch_sub(1, std::memory_order_relaxed);
+      if (stopping_.load()) {
+        // Pool refused because we are shutting down: close the socket
+        // deliberately (peer sees a clean RST/FIN, not a silent leak).
+        log::info(kLogComponent,
+                  "connection refused: server is shutting down");
+        shared->close();
+        break;
+      }
+      shed_connection(std::move(*shared), "worker queue full");
+    }
+  }
+}
+
+void MyProxyServer::shed_connection(net::Socket socket,
+                                    std::string_view reason) {
+  stats_.shed_connections.fetch_add(1, std::memory_order_relaxed);
+  log::warn(kLogComponent, "shedding connection: {}", reason);
+  try {
+    // Best-effort courtesy note on the raw socket; TLS clients will instead
+    // see the connection closed before the handshake, which their retry
+    // logic treats as transient. A stalled peer cannot hold us here past
+    // the short write deadline.
+    socket.set_write_timeout(Millis(100));
+    net::PlainChannel channel(std::move(socket));
+    channel.send(Response::make_error("server busy, try again").serialize());
+    channel.close();
+  } catch (const std::exception&) {
+    // Shedding is advisory; failure to notify the peer is acceptable.
   }
 }
 
 void MyProxyServer::handle_connection(net::Socket socket) {
   stats_.connections.fetch_add(1, std::memory_order_relaxed);
   try {
-    auto channel = tls::TlsChannel::accept(tls_context_, std::move(socket));
+    auto channel = tls::TlsChannel::accept(tls_context_, std::move(socket),
+                                           config_.handshake_timeout);
+    // Handshake done: switch the socket from the handshake budget to the
+    // per-request idle budget.
+    channel->set_deadlines(config_.request_timeout, config_.request_timeout);
     // Mutual authentication: verify the client's chain under GSI rules.
     pki::VerifiedIdentity peer;
     try {
@@ -121,6 +178,11 @@ void MyProxyServer::handle_connection(net::Socket socket) {
       return;
     }
     serve_channel(*channel, peer);
+  } catch (const IoTimeout& e) {
+    // Slow, silent, or stalled peer: the deadline fired and the worker is
+    // now free again. This is the DoS-resilience path, not a server bug.
+    stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
+    log::warn(kLogComponent, "connection timed out: {}", e.what());
   } catch (const std::exception& e) {
     stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
     log::warn(kLogComponent, "connection aborted: {}", e.what());
@@ -132,6 +194,8 @@ void MyProxyServer::serve_channel(net::Channel& channel,
   Request request;
   try {
     request = Request::parse(channel.receive());
+  } catch (const IoTimeout&) {
+    throw;  // stalled peer: counted in handle_connection, no reply owed
   } catch (const Error& e) {
     stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
     log::warn(kLogComponent, "bad request from '{}': {}",
@@ -177,6 +241,14 @@ void MyProxyServer::serve_channel(net::Channel& channel,
         break;
     }
     audit_.record(std::move(audit_event));
+  } catch (const IoTimeout& e) {
+    // Mid-command stall: the deadline freed this worker. Record the audit
+    // outcome here, then let handle_connection count the timeout — the
+    // stalled channel is not worth another write.
+    audit_event.outcome = AuditOutcome::kError;
+    audit_event.detail = e.what();
+    audit_.record(std::move(audit_event));
+    throw;
   } catch (const Error& e) {
     if (e.code() == ErrorCode::kAuthentication) {
       stats_.auth_failures.fetch_add(1, std::memory_order_relaxed);

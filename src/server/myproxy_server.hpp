@@ -54,6 +54,23 @@ struct ServerConfig {
   /// operational half of the bounded-lifetime defence). Zero disables it;
   /// tests drive Repository::sweep_expired() directly.
   Seconds sweep_interval{60};
+
+  /// Deadline for the TLS handshake on a freshly accepted connection. A
+  /// client that completes TCP connect but never speaks TLS (slowloris)
+  /// frees its worker after this long. Zero disables the deadline.
+  Millis handshake_timeout{10000};
+
+  /// Per-read/per-write deadline while servicing a request. A client that
+  /// stalls mid-message frees its worker after this long. Zero disables.
+  Millis request_timeout{30000};
+
+  /// Maximum connections in flight (queued + being serviced). Further
+  /// accepts are shed with a best-effort "server busy" response instead of
+  /// blocking the accept loop. Zero means unlimited.
+  std::size_t max_connections = 256;
+
+  /// Bound on the worker-pool queue; overflow is shed like max_connections.
+  std::size_t max_pending_connections = 256;
 };
 
 /// Operation counters for tests, benchmarks, and the audit story.
@@ -65,6 +82,8 @@ struct ServerStats {
   std::atomic<std::uint64_t> auth_failures{0};
   std::atomic<std::uint64_t> authz_failures{0};
   std::atomic<std::uint64_t> protocol_errors{0};
+  std::atomic<std::uint64_t> timeouts{0};          ///< connections reaped by deadline
+  std::atomic<std::uint64_t> shed_connections{0};  ///< refused at the cap
 };
 
 class MyProxyServer {
@@ -104,6 +123,11 @@ class MyProxyServer {
  private:
   void accept_loop();
   void handle_connection(net::Socket socket);
+
+  /// Refuse `socket` because the server is at capacity: best-effort framed
+  /// "server busy" error on the raw socket, then close. Never blocks the
+  /// accept loop for more than a short write deadline.
+  void shed_connection(net::Socket socket, std::string_view reason);
 
   void handle_put(net::Channel& channel, const protocol::Request& request,
                   const pki::VerifiedIdentity& peer);
@@ -149,6 +173,7 @@ class MyProxyServer {
   std::thread accept_thread_;
   std::thread sweep_thread_;
   std::unique_ptr<ThreadPool> pool_;
+  std::atomic<std::size_t> in_flight_{0};
   std::atomic<bool> stopping_{false};
   std::condition_variable stop_cv_;
   std::mutex stop_mutex_;

@@ -8,6 +8,7 @@
 #include "common/format.hpp"
 #include "crypto/openssl_util.hpp"
 
+#include <cerrno>
 #include <csignal>
 #include <mutex>
 
@@ -32,8 +33,17 @@ int accept_all_verify_callback(int /*preverify_ok*/,
 }
 
 [[noreturn]] void throw_ssl(std::string_view what, SSL* ssl, int rc) {
+  const int saved_errno = errno;
   const int err = SSL_get_error(ssl, rc);
   const std::string queued = crypto::drain_error_queue();
+  // With SO_RCVTIMEO/SO_SNDTIMEO armed on the underlying descriptor the
+  // socket stays "blocking", so a deadline expiry surfaces here either as a
+  // retryable BIO (WANT_READ/WANT_WRITE) or as a syscall EAGAIN.
+  if (err == SSL_ERROR_WANT_READ || err == SSL_ERROR_WANT_WRITE ||
+      (err == SSL_ERROR_SYSCALL &&
+       (saved_errno == EAGAIN || saved_errno == EWOULDBLOCK))) {
+    throw IoTimeout(fmt::format("{}: I/O deadline expired", what));
+  }
   throw IoError(
       fmt::format("{}: ssl_error={} ({})", what, err, queued));
 }
@@ -126,10 +136,14 @@ TlsChannel::TlsChannel(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {
 
 TlsChannel::~TlsChannel() = default;
 
-std::unique_ptr<TlsChannel> TlsChannel::accept(const TlsContext& context,
-                                               net::Socket socket) {
+std::unique_ptr<TlsChannel> TlsChannel::accept(
+    const TlsContext& context, net::Socket socket,
+    std::chrono::milliseconds handshake_timeout) {
   auto impl = std::make_unique<Impl>();
   impl->socket = std::move(socket);
+  if (handshake_timeout.count() > 0) {
+    impl->socket.set_deadlines(handshake_timeout, handshake_timeout);
+  }
   impl->ssl = crypto::check_ptr(SSL_new(context.native()), "SSL_new");
   crypto::check(SSL_set_fd(impl->ssl, impl->socket.fd()), "SSL_set_fd");
   const int rc = SSL_accept(impl->ssl);
@@ -137,15 +151,24 @@ std::unique_ptr<TlsChannel> TlsChannel::accept(const TlsContext& context,
   return std::unique_ptr<TlsChannel>(new TlsChannel(std::move(impl)));
 }
 
-std::unique_ptr<TlsChannel> TlsChannel::connect(const TlsContext& context,
-                                                net::Socket socket) {
+std::unique_ptr<TlsChannel> TlsChannel::connect(
+    const TlsContext& context, net::Socket socket,
+    std::chrono::milliseconds handshake_timeout) {
   auto impl = std::make_unique<Impl>();
   impl->socket = std::move(socket);
+  if (handshake_timeout.count() > 0) {
+    impl->socket.set_deadlines(handshake_timeout, handshake_timeout);
+  }
   impl->ssl = crypto::check_ptr(SSL_new(context.native()), "SSL_new");
   crypto::check(SSL_set_fd(impl->ssl, impl->socket.fd()), "SSL_set_fd");
   const int rc = SSL_connect(impl->ssl);
   if (rc != 1) throw_ssl("TLS connect handshake failed", impl->ssl, rc);
   return std::unique_ptr<TlsChannel>(new TlsChannel(std::move(impl)));
+}
+
+void TlsChannel::set_deadlines(std::chrono::milliseconds read,
+                               std::chrono::milliseconds write) {
+  impl_->socket.set_deadlines(read, write);
 }
 
 void TlsChannel::send(std::string_view message) {

@@ -10,6 +10,7 @@
 // SSL "without modification".
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
@@ -53,13 +54,25 @@ class TlsContext {
 /// One TLS connection, implementing the framed message Channel.
 class TlsChannel final : public net::Channel {
  public:
-  /// Run the accepting-side handshake over `socket`.
-  static std::unique_ptr<TlsChannel> accept(const TlsContext& context,
-                                            net::Socket socket);
+  /// Run the accepting-side handshake over `socket`. A non-zero
+  /// `handshake_timeout` arms read/write deadlines on the socket first, so
+  /// a peer that connects and never speaks TLS raises IoTimeout instead of
+  /// pinning the calling thread forever. The deadlines stay armed after the
+  /// handshake until set_deadlines() changes them.
+  static std::unique_ptr<TlsChannel> accept(
+      const TlsContext& context, net::Socket socket,
+      std::chrono::milliseconds handshake_timeout = {});
 
-  /// Run the connecting-side handshake over `socket`.
-  static std::unique_ptr<TlsChannel> connect(const TlsContext& context,
-                                             net::Socket socket);
+  /// Run the connecting-side handshake over `socket`; `handshake_timeout`
+  /// as in accept().
+  static std::unique_ptr<TlsChannel> connect(
+      const TlsContext& context, net::Socket socket,
+      std::chrono::milliseconds handshake_timeout = {});
+
+  /// Re-arm the underlying socket deadlines (e.g. switch from handshake to
+  /// per-request budgets). Zero clears a deadline.
+  void set_deadlines(std::chrono::milliseconds read,
+                     std::chrono::milliseconds write);
 
   ~TlsChannel() override;
 

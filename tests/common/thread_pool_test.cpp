@@ -56,6 +56,83 @@ TEST(ThreadPool, BoundedQueueAppliesBackpressure) {
   EXPECT_EQ(counter.load(), 20);
 }
 
+TEST(ThreadPool, TrySubmitShedsInsteadOfBlockingWhenFull) {
+  std::atomic<bool> release{false};
+  std::atomic<bool> started{false};
+  std::atomic<int> ran{0};
+  ThreadPool pool(1, /*max_queue=*/1);
+  ASSERT_TRUE(pool.submit([&] {
+    started = true;
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }));
+  while (!started.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Worker is pinned; one slot in the queue.
+  EXPECT_TRUE(pool.try_submit([&ran] { ++ran; }));
+  EXPECT_EQ(pool.pending(), 1u);
+  // Queue full: try_submit must return false immediately, not block.
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(pool.try_submit([&ran] { ++ran; }));
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(100));
+  release = true;
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, SaturatedSubmitUnblocksOnShutdown) {
+  // A producer blocked on a full queue must be released (with a rejection)
+  // when the pool shuts down — destructor and submit must not deadlock.
+  std::atomic<bool> release{false};
+  std::atomic<bool> started{false};
+  std::atomic<int> rejected{0};
+  auto pool = std::make_unique<ThreadPool>(1, /*max_queue=*/1);
+  ASSERT_TRUE(pool->submit([&] {
+    started = true;
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }));
+  while (!started.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(pool->submit([] {}));  // fills the queue
+  // Raw pointer: the producer must not read the unique_ptr storage while
+  // the destroyer thread rewrites it. The object itself stays alive until
+  // its destructor returns, which cannot happen before the worker is
+  // released below.
+  ThreadPool* raw = pool.get();
+  std::thread producer([&] {
+    if (!raw->submit([] {})) ++rejected;
+  });
+  // Give the producer time to park in submit()'s queue-space wait.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // The destructor blocks joining the pinned worker, but its stopping_
+  // notification must still release the parked producer with a rejection.
+  std::thread destroyer([&] { pool.reset(); });
+  producer.join();  // must return promptly once shutdown begins
+  EXPECT_EQ(rejected.load(), 1);
+  release = true;  // now let the worker (and thus the destructor) finish
+  destroyer.join();
+}
+
+TEST(ThreadPool, BoundedQueueWithSlowTasksDrainsOnDestruction) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2, /*max_queue=*/2);
+    for (int i = 0; i < 12; ++i) {
+      ASSERT_TRUE(pool.submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        ++counter;
+      }));
+    }
+  }  // destructor drains the queue and joins without deadlock
+  EXPECT_EQ(counter.load(), 12);
+}
+
 TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately) {
   ThreadPool pool(2);
   pool.wait_idle();  // must not hang

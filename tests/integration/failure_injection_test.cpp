@@ -10,6 +10,7 @@
 #include "common/error.hpp"
 #include "gsi/gsi_fixtures.hpp"
 #include "gsi/proxy.hpp"
+#include "net/channel.hpp"
 #include "server/myproxy_server.hpp"
 
 namespace myproxy {
@@ -43,6 +44,9 @@ class FailureInjectionTest : public ::testing::Test {
     config.accepted_credentials.add("*");
     config.authorized_retrievers.add("*");
     config.worker_threads = 4;
+    // Short deadlines so hostile clients are reaped within the test budget.
+    config.handshake_timeout = Millis(1000);
+    config.request_timeout = Millis(1000);
     server_ = std::make_unique<server::MyProxyServer>(
         make_host("fi-myproxy"), make_trust_store(), repo_, config);
     server_->start();
@@ -171,6 +175,168 @@ TEST_F(FailureInjectionTest, ConcurrentClientsAllSucceed) {
   EXPECT_EQ(successes.load(), kThreads * kOpsPerThread);
   EXPECT_GE(server_->stats().gets.load(),
             static_cast<std::uint64_t>(kThreads * kOpsPerThread));
+}
+
+TEST_F(FailureInjectionTest, SlowlorisConnectionsAreReapedByHandshakeDeadline) {
+  // Clients that complete the TCP connect but never speak TLS would pin one
+  // worker each forever without the handshake deadline. With all four
+  // workers under attack, a healthy client must still get served once the
+  // deadline reaps the attackers.
+  const auto alice = make_user("fi-slowloris-alice");
+  store_alice(alice);
+  std::vector<net::Socket> attackers;
+  attackers.reserve(4);
+  for (int i = 0; i < 4; ++i) {
+    attackers.push_back(net::tcp_connect(server_->port()));
+  }
+  // The healthy client queues behind the attackers and is served as soon as
+  // the 1s handshake deadline frees the workers.
+  expect_server_alive(alice);
+  bool reaped = false;
+  for (int i = 0; i < 200 && !reaped; ++i) {
+    reaped = server_->stats().timeouts.load() >= 4;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_TRUE(reaped) << "handshake deadline reaped only "
+                      << server_->stats().timeouts.load() << " of 4";
+  for (auto& socket : attackers) socket.close();
+  expect_server_alive(alice);
+}
+
+TEST_F(FailureInjectionTest, MidRequestStallIsReapedByRequestDeadline) {
+  // A client that authenticates, starts a PUT, receives the server's CSR,
+  // then goes silent while holding the connection open: the per-request
+  // deadline must free the worker and no record may appear.
+  const auto alice = make_user("fi-stall-alice");
+  const auto proxy = gsi::create_proxy(alice);
+  const auto timeouts_before = server_->stats().timeouts.load();
+  const tls::TlsContext ctx = tls::TlsContext::make(proxy);
+  auto channel =
+      tls::TlsChannel::connect(ctx, net::tcp_connect(server_->port()));
+  protocol::Request request;
+  request.command = protocol::Command::kPut;
+  request.username = "stalled";
+  request.passphrase = std::string(kPhrase);
+  channel->send(request.serialize());
+  const auto ok = protocol::Response::parse(channel->receive());
+  ASSERT_TRUE(ok.ok());
+  (void)channel->receive();  // the CSR — now hang, connection still open
+  bool reaped = false;
+  for (int i = 0; i < 100 && !reaped; ++i) {
+    reaped = server_->stats().timeouts.load() > timeouts_before;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_TRUE(reaped) << "request deadline never fired";
+  channel->close();
+  EXPECT_EQ(repo_->size(), 0u);
+  store_alice(alice);
+  expect_server_alive(alice);
+}
+
+TEST(ConnectionCap, ExcessConnectionsAreShedWithBusyResponse) {
+  repository::RepositoryPolicy policy;
+  policy.kdf_iterations = 100;
+  auto repo = std::make_shared<repository::Repository>(
+      std::make_unique<repository::MemoryCredentialStore>(), policy);
+  server::ServerConfig config;
+  config.accepted_credentials.add("*");
+  config.authorized_retrievers.add("*");
+  config.worker_threads = 2;
+  config.max_connections = 2;
+  config.handshake_timeout = Millis(2000);
+  server::MyProxyServer server(make_host("fi-cap-myproxy"),
+                               make_trust_store(), repo, config);
+  server.start();
+
+  // Two silent connections fill the in-flight budget.
+  net::Socket pin1 = net::tcp_connect(server.port());
+  net::Socket pin2 = net::tcp_connect(server.port());
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  // The third is shed immediately with a framed "busy" error instead of
+  // waiting behind the pinned workers.
+  net::Socket third = net::tcp_connect(server.port());
+  third.set_read_timeout(std::chrono::milliseconds(2000));
+  net::PlainChannel channel(std::move(third));
+  const auto response = protocol::Response::parse(channel.receive());
+  EXPECT_FALSE(response.ok());
+  EXPECT_NE(response.error.find("busy"), std::string::npos) << response.error;
+  EXPECT_GE(server.stats().shed_connections.load(), 1u);
+
+  pin1.close();
+  pin2.close();
+  server.stop();
+}
+
+TEST(ClientRetry, SucceedsAfterServerComesBack) {
+  const auto host = make_host("fi-retry-myproxy");
+  repository::RepositoryPolicy policy;
+  policy.kdf_iterations = 100;
+  auto repo = std::make_shared<repository::Repository>(
+      std::make_unique<repository::MemoryCredentialStore>(), policy);
+  const auto make_server = [&](std::uint16_t port) {
+    server::ServerConfig config;
+    config.accepted_credentials.add("*");
+    config.authorized_retrievers.add("*");
+    config.port = port;
+    return std::make_unique<server::MyProxyServer>(host, make_trust_store(),
+                                                   repo, config);
+  };
+
+  auto first = make_server(0);
+  first->start();
+  const std::uint16_t port = first->port();
+  const auto alice = make_user("fi-retry-alice");
+  {
+    const auto proxy = gsi::create_proxy(alice);
+    MyProxyClient client(proxy, make_trust_store(), port);
+    client.put("alice", kPhrase, proxy);
+  }
+  first->stop();
+
+  // Bring a replacement up on the same port (same repository) after a gap
+  // longer than the first couple of backoff sleeps.
+  std::unique_ptr<server::MyProxyServer> second;
+  std::thread restarter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    second = make_server(port);
+    second->start();
+  });
+
+  client::RetryPolicy retry;
+  retry.max_attempts = 20;
+  retry.initial_backoff = Millis(100);
+  retry.max_backoff = Millis(200);
+  const auto proxy = gsi::create_proxy(alice);
+  MyProxyClient client(proxy, make_trust_store(), port, retry);
+  EXPECT_EQ(client.get("alice", kPhrase).identity(), alice.identity());
+
+  restarter.join();
+  second->stop();
+}
+
+TEST(ClientRetry, GivesUpWithClearErrorAfterMaxAttempts) {
+  // Grab an ephemeral port, then close the listener so nothing is bound.
+  std::uint16_t dead_port;
+  {
+    net::TcpListener listener = net::TcpListener::bind(0);
+    dead_port = listener.port();
+    listener.close();
+  }
+  client::RetryPolicy retry;
+  retry.max_attempts = 2;
+  retry.initial_backoff = Millis(50);
+  retry.max_backoff = Millis(100);
+  const auto user = make_user("fi-giveup-user");
+  const auto proxy = gsi::create_proxy(user);
+  MyProxyClient client(proxy, make_trust_store(), dead_port, retry);
+  try {
+    (void)client.get("nobody", kPhrase);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("2 attempt"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(BackgroundSweeper, RemovesExpiredRecordsWhileServing) {

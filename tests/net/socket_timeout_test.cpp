@@ -1,0 +1,114 @@
+// Deadline behaviour of the raw socket layer: expiry must surface as the
+// distinct IoTimeout (still an IoError for transport-level catch sites),
+// within a bound close to the armed deadline.
+#include "net/socket.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include "common/error.hpp"
+#include "net/channel.hpp"
+
+namespace myproxy::net {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+milliseconds elapsed_since(steady_clock::time_point start) {
+  return std::chrono::duration_cast<milliseconds>(steady_clock::now() -
+                                                  start);
+}
+
+TEST(SocketDeadline, ReadExactTimesOutWithIoTimeout) {
+  auto [a, b] = socket_pair();
+  a.set_read_timeout(milliseconds(100));
+  const auto start = steady_clock::now();
+  EXPECT_THROW((void)a.read_exact(4), IoTimeout);
+  const auto took = elapsed_since(start);
+  EXPECT_GE(took, milliseconds(50));
+  EXPECT_LT(took, milliseconds(2000));
+}
+
+TEST(SocketDeadline, ReadSomeTimesOutWithIoTimeout) {
+  auto [a, b] = socket_pair();
+  a.set_read_timeout(milliseconds(100));
+  EXPECT_THROW((void)a.read_some(16), IoTimeout);
+}
+
+TEST(SocketDeadline, PartialMessageThenStallTimesOut) {
+  // The peer sends 2 of 4 requested bytes and goes silent: the error must
+  // report the timeout, not a generic transport failure.
+  auto [a, b] = socket_pair();
+  a.set_read_timeout(milliseconds(100));
+  b.write_all("ab");
+  try {
+    (void)a.read_exact(4);
+    FAIL() << "expected IoTimeout";
+  } catch (const IoTimeout& e) {
+    EXPECT_NE(std::string(e.what()).find("2 of 4"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SocketDeadline, TimeoutIsCatchableAsIoError) {
+  auto [a, b] = socket_pair();
+  a.set_read_timeout(milliseconds(50));
+  bool caught = false;
+  try {
+    (void)a.read_exact(1);
+  } catch (const IoError& e) {
+    caught = true;
+    EXPECT_EQ(e.code(), ErrorCode::kTimeout);
+  }
+  EXPECT_TRUE(caught);
+}
+
+TEST(SocketDeadline, WriteTimesOutWhenPeerNeverDrains) {
+  auto [a, b] = socket_pair();
+  a.set_write_timeout(milliseconds(100));
+  // Never read from b: a's send buffer fills and the deadline fires.
+  const std::string chunk(1 << 20, 'x');
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 64; ++i) a.write_all(chunk);
+      },
+      IoTimeout);
+}
+
+TEST(SocketDeadline, FramedChannelSurfacesTimeout) {
+  // A length-framed peer that sends a partial header then stalls must not
+  // pin the reader: PlainChannel::receive propagates the socket deadline.
+  auto [a, b] = socket_pair();
+  a.set_read_timeout(milliseconds(100));
+  PlainChannel channel(std::move(a));
+  b.write_all(std::string("\x00\x00", 2));  // half a frame header
+  EXPECT_THROW((void)channel.receive(), IoTimeout);
+}
+
+TEST(TcpConnect, RefusedPortFailsWithIoErrorNotTimeout) {
+  // Grab an ephemeral port, then close the listener so nothing is bound.
+  std::uint16_t dead_port;
+  {
+    TcpListener listener = TcpListener::bind(0);
+    dead_port = listener.port();
+    listener.close();
+  }
+  const auto start = steady_clock::now();
+  EXPECT_THROW((void)tcp_connect(dead_port, milliseconds(2000)), IoError);
+  // Refusal is immediate; the connect deadline must not be consumed.
+  EXPECT_LT(elapsed_since(start), milliseconds(1500));
+}
+
+TEST(TcpConnect, BoundedConnectStillWorksAgainstLiveListener) {
+  TcpListener listener = TcpListener::bind(0);
+  Socket client = tcp_connect(listener.port(), milliseconds(2000));
+  Socket accepted = listener.accept();
+  client.write_all("ping");
+  EXPECT_EQ(accepted.read_exact(4), "ping");
+}
+
+}  // namespace
+}  // namespace myproxy::net

@@ -35,7 +35,8 @@ void change(const tools::Args& args) {
   }
 
   const gsi::Credential proxy = gsi::create_proxy(source);
-  client::MyProxyClient client(proxy, std::move(trust), port);
+  client::MyProxyClient client(proxy, std::move(trust), port,
+                               tools::retry_policy_from_args(args));
   client.change_passphrase(username, old_phrase, new_phrase,
                            args.get_or("--name", ""));
   std::cout << "Pass phrase changed for user " << username << ".\n";
@@ -46,8 +47,9 @@ void change(const tools::Args& args) {
 int main(int argc, char** argv) {
   const myproxy::tools::Args args(
       argc, argv,
-      {"--cred", "--trust", "--port", "--user", "--name",
-       "--passphrase-file", "--new-passphrase-file"});
+      myproxy::tools::with_retry_flags(
+          {"--cred", "--trust", "--port", "--user", "--name",
+           "--passphrase-file", "--new-passphrase-file"}));
   return myproxy::tools::run_tool("myproxy-change-passphrase",
                                   [&args] { change(args); });
 }

@@ -20,7 +20,8 @@ void destroy(const tools::Args& args) {
   const std::string username = args.get_or("--user", "anonymous");
 
   const gsi::Credential proxy = gsi::create_proxy(source);
-  client::MyProxyClient client(proxy, std::move(trust), port);
+  client::MyProxyClient client(proxy, std::move(trust), port,
+                               tools::retry_policy_from_args(args));
   client.destroy(username, args.get_or("--name", ""));
   std::cout << "MyProxy credential for user " << username
             << " was successfully removed.\n";
@@ -30,7 +31,9 @@ void destroy(const tools::Args& args) {
 
 int main(int argc, char** argv) {
   const myproxy::tools::Args args(
-      argc, argv, {"--cred", "--trust", "--port", "--user", "--name"});
+      argc, argv,
+      myproxy::tools::with_retry_flags(
+          {"--cred", "--trust", "--port", "--user", "--name"}));
   return myproxy::tools::run_tool("myproxy-destroy",
                                   [&args] { destroy(args); });
 }

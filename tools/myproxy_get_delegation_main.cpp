@@ -4,6 +4,8 @@
 //   myproxy-get-delegation --cred portalcred.pem --trust ca.pem
 //       --port 7512 --user alice --out /tmp/x509up [--lifetime 7200]
 //       [--name slot] [--limited] [--otp] [--passphrase-file f]
+//       [--retries N] [--retry-backoff-ms MS] [--connect-timeout-ms MS]
+//       [--io-timeout-ms MS]
 #include "client/myproxy_client.hpp"
 #include "tool_util.hpp"
 
@@ -21,7 +23,8 @@ void get_delegation(const tools::Args& args) {
   const std::string passphrase =
       tools::read_passphrase(args, "Enter MyProxy pass phrase");
 
-  client::MyProxyClient client(credential, std::move(trust), port);
+  client::MyProxyClient client(credential, std::move(trust), port,
+                               tools::retry_policy_from_args(args));
   client::GetOptions options;
   options.lifetime = Seconds(std::stoll(args.get_or("--lifetime", "0")));
   options.credential_name = args.get_or("--name", "");
@@ -43,8 +46,9 @@ void get_delegation(const tools::Args& args) {
 int main(int argc, char** argv) {
   const myproxy::tools::Args args(
       argc, argv,
-      {"--cred", "--trust", "--port", "--user", "--lifetime", "--name",
-       "--out", "--passphrase-file"});
+      myproxy::tools::with_retry_flags(
+          {"--cred", "--trust", "--port", "--user", "--lifetime", "--name",
+           "--out", "--passphrase-file"}));
   return myproxy::tools::run_tool("myproxy-get-delegation",
                                   [&args] { get_delegation(args); });
 }

@@ -33,7 +33,8 @@ void init(const tools::Args& args) {
                                      std::to_string(kDefaultRepositoryLifetime.count()))));
   const gsi::Credential proxy = gsi::create_proxy(source, proxy_options);
 
-  client::MyProxyClient client(proxy, std::move(trust), port);
+  client::MyProxyClient client(proxy, std::move(trust), port,
+                               tools::retry_policy_from_args(args));
   client::PutOptions options;
   options.stored_lifetime = proxy_options.lifetime;
   options.max_delegation_lifetime =
@@ -63,8 +64,10 @@ void init(const tools::Args& args) {
 int main(int argc, char** argv) {
   const myproxy::tools::Args args(
       argc, argv,
-      {"--cred", "--trust", "--port", "--user", "--lifetime",
-       "--max-delegation", "--name", "--retriever", "--renewer",
-       "--restriction", "--tags", "--passphrase-file", "--key-passphrase"});
+      myproxy::tools::with_retry_flags(
+          {"--cred", "--trust", "--port", "--user", "--lifetime",
+           "--max-delegation", "--name", "--retriever", "--renewer",
+           "--restriction", "--tags", "--passphrase-file",
+           "--key-passphrase"}));
   return myproxy::tools::run_tool("myproxy-init", [&args] { init(args); });
 }

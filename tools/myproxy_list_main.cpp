@@ -21,7 +21,8 @@ void list(const tools::Args& args) {
   const std::string username = args.get_or("--user", "anonymous");
 
   const gsi::Credential proxy = gsi::create_proxy(source);
-  client::MyProxyClient client(proxy, std::move(trust), port);
+  client::MyProxyClient client(proxy, std::move(trust), port,
+                               tools::retry_policy_from_args(args));
   if (const auto task = args.get("--task")) {
     const std::string selected = client.select_for_task(username, *task);
     std::cout << "credential for task '" << *task << "': "
@@ -37,6 +38,8 @@ void list(const tools::Args& args) {
 
 int main(int argc, char** argv) {
   const myproxy::tools::Args args(
-      argc, argv, {"--cred", "--trust", "--port", "--user", "--task"});
+      argc, argv,
+      myproxy::tools::with_retry_flags(
+          {"--cred", "--trust", "--port", "--user", "--task"}));
   return myproxy::tools::run_tool("myproxy-list", [&args] { list(args); });
 }

@@ -23,7 +23,8 @@ void retrieve(const tools::Args& args) {
       tools::read_passphrase(args, "Enter MyProxy pass phrase");
 
   const gsi::Credential proxy = gsi::create_proxy(source);
-  client::MyProxyClient client(proxy, std::move(trust), port);
+  client::MyProxyClient client(proxy, std::move(trust), port,
+                               tools::retry_policy_from_args(args));
   const gsi::Credential restored =
       client.retrieve(username, passphrase, args.get_or("--name", ""));
   const std::string out = args.get_or("--out", "restored-credential.pem");
@@ -38,8 +39,9 @@ void retrieve(const tools::Args& args) {
 int main(int argc, char** argv) {
   const myproxy::tools::Args args(
       argc, argv,
-      {"--cred", "--trust", "--port", "--user", "--name", "--out",
-       "--passphrase-file"});
+      myproxy::tools::with_retry_flags(
+          {"--cred", "--trust", "--port", "--user", "--name", "--out",
+           "--passphrase-file"}));
   return myproxy::tools::run_tool("myproxy-retrieve",
                                   [&args] { retrieve(args); });
 }

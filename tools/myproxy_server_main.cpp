@@ -13,6 +13,10 @@
 //   max_cred_lifetime     <seconds>
 //   kdf_iterations        <n>
 //   passphrase_min_length <n>
+//   handshake_timeout_ms  <ms>     # TLS handshake deadline (0 = off)
+//   request_timeout_ms    <ms>     # per-request idle deadline (0 = off)
+//   max_connections       <n>      # in-flight connection cap (0 = off)
+//   worker_threads        <n>
 #include <csignal>
 
 #include "common/config.hpp"
@@ -63,6 +67,16 @@ void serve(const tools::Args& args) {
   server::ServerConfig server_config;
   server_config.port = static_cast<std::uint16_t>(
       std::stoi(args.get_or("--port", "7512")));
+  server_config.worker_threads = static_cast<std::size_t>(config.get_int_or(
+      "worker_threads",
+      static_cast<std::int64_t>(server_config.worker_threads)));
+  server_config.handshake_timeout = Millis(config.get_int_or(
+      "handshake_timeout_ms", server_config.handshake_timeout.count()));
+  server_config.request_timeout = Millis(config.get_int_or(
+      "request_timeout_ms", server_config.request_timeout.count()));
+  server_config.max_connections = static_cast<std::size_t>(config.get_int_or(
+      "max_connections",
+      static_cast<std::int64_t>(server_config.max_connections)));
   for (const auto& pattern : config.get_all("accepted_credentials")) {
     server_config.accepted_credentials.add(pattern);
   }

@@ -25,7 +25,8 @@ void store(const tools::Args& args) {
 
   // Authenticate with a fresh proxy; ship the long-term credential itself.
   const gsi::Credential proxy = gsi::create_proxy(source);
-  client::MyProxyClient client(proxy, std::move(trust), port);
+  client::MyProxyClient client(proxy, std::move(trust), port,
+                               tools::retry_policy_from_args(args));
   client::PutOptions options;
   options.credential_name = args.get_or("--name", "");
   options.task_tags = args.get_or("--tags", "");
@@ -39,7 +40,8 @@ void store(const tools::Args& args) {
 int main(int argc, char** argv) {
   const myproxy::tools::Args args(
       argc, argv,
-      {"--cred", "--trust", "--port", "--user", "--name", "--tags",
-       "--passphrase-file", "--key-passphrase"});
+      myproxy::tools::with_retry_flags(
+          {"--cred", "--trust", "--port", "--user", "--name", "--tags",
+           "--passphrase-file", "--key-passphrase"}));
   return myproxy::tools::run_tool("myproxy-store", [&args] { store(args); });
 }

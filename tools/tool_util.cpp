@@ -99,6 +99,33 @@ pki::TrustStore load_trust_store(const std::filesystem::path& path) {
   return store;
 }
 
+std::vector<std::string> with_retry_flags(
+    std::vector<std::string> value_flags) {
+  for (const char* flag : {"--retries", "--retry-backoff-ms",
+                           "--connect-timeout-ms", "--io-timeout-ms"}) {
+    value_flags.emplace_back(flag);
+  }
+  return value_flags;
+}
+
+client::RetryPolicy retry_policy_from_args(const Args& args) {
+  client::RetryPolicy policy;
+  policy.max_attempts =
+      std::stoi(args.get_or("--retries",
+                            std::to_string(policy.max_attempts)));
+  if (policy.max_attempts < 1) {
+    throw ConfigError("--retries must be at least 1");
+  }
+  policy.initial_backoff = Millis(std::stoll(args.get_or(
+      "--retry-backoff-ms", std::to_string(policy.initial_backoff.count()))));
+  policy.connect_timeout = Millis(std::stoll(args.get_or(
+      "--connect-timeout-ms",
+      std::to_string(policy.connect_timeout.count()))));
+  policy.io_timeout = Millis(std::stoll(args.get_or(
+      "--io-timeout-ms", std::to_string(policy.io_timeout.count()))));
+  return policy;
+}
+
 int run_tool(std::string_view name, const std::function<void()>& body) {
   try {
     body();

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "client/myproxy_client.hpp"
 #include "common/error.hpp"
 #include "gsi/credential.hpp"
 #include "pki/trust_store.hpp"
@@ -53,5 +54,14 @@ void write_file(const std::filesystem::path& path, std::string_view content,
 
 /// Run `body` with uniform error reporting; returns the process exit code.
 int run_tool(std::string_view name, const std::function<void()>& body);
+
+/// Append the shared connection-robustness flags (--retries,
+/// --retry-backoff-ms, --connect-timeout-ms, --io-timeout-ms) to a tool's
+/// value-flag list.
+[[nodiscard]] std::vector<std::string> with_retry_flags(
+    std::vector<std::string> value_flags);
+
+/// Build a client RetryPolicy from the shared flags (defaults otherwise).
+[[nodiscard]] client::RetryPolicy retry_policy_from_args(const Args& args);
 
 }  // namespace myproxy::tools
