@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Build Release, run the Figure 2 retrieval benchmarks, and record the
+# result as BENCH_fig2_get.json at the repo root.
+#
+# Usage: bench/run_bench.sh [--quick]
+#   --quick  fewer iterations and no latency gate (the ctest smoke uses
+#            the same mode); full runs enforce the >=2x p50 gate.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${repo_root}/build-bench"
+mode_flags=()
+fig2_args=()
+if [[ "${1:-}" == "--quick" ]]; then
+  mode_flags+=(--quick)
+  fig2_args+=(--benchmark_min_time=0.05s)
+fi
+
+cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${build_dir}" -j "$(nproc)" \
+  --target bench_fig2_get bench_hotpath
+
+# Google-benchmark series (baseline vs fast path per key spec), embedded
+# verbatim into the final JSON by bench_hotpath.
+fig2_json="$(mktemp)"
+trap 'rm -f "${fig2_json}"' EXIT
+"${build_dir}/bench/bench_fig2_get" \
+  --benchmark_out="${fig2_json}" --benchmark_out_format=json \
+  "${fig2_args[@]}"
+
+"${build_dir}/bench/bench_hotpath" "${mode_flags[@]}" \
+  --out "${repo_root}/BENCH_fig2_get.json" \
+  --fig2-json "${fig2_json}"
+
+echo "Recorded ${repo_root}/BENCH_fig2_get.json"

@@ -42,9 +42,24 @@ MyProxyClient::MyProxyClient(gsi::Credential credential,
       jitter_rng_(std::random_device{}()) {}
 
 std::unique_ptr<tls::TlsChannel> MyProxyClient::connect_once() {
+  const tls::TlsSession* resume =
+      session_resumption_ && cached_session_.valid() ? &cached_session_
+                                                     : nullptr;
   auto channel = tls::TlsChannel::connect(
       tls_context_, net::tcp_connect(port_, retry_policy_.connect_timeout),
-      retry_policy_.io_timeout);
+      retry_policy_.io_timeout, resume);
+  if (channel->resumed()) {
+    // Abbreviated handshake. The server proved possession of the secret
+    // negotiated on a connection whose chain we fully verified (sessions
+    // are only cached after a verified, successful operation), so the §5.1
+    // server-authentication guarantee carries over; there is no fresh
+    // chain to re-verify. server_identity_ still holds that identity.
+    ++resumed_connections_;
+    log::debug(kLogComponent, "resumed session with repository '{}'",
+               server_identity_ ? server_identity_->str() : "?");
+    return channel;
+  }
+  ++full_connections_;
   // Mutual authentication (§5.1): verify the repository's credentials so a
   // fake server cannot harvest pass phrases.
   const pki::VerifiedIdentity server =
@@ -80,6 +95,9 @@ std::unique_ptr<tls::TlsChannel> MyProxyClient::connect() {
       // IoError and propagate immediately — retrying cannot fix a server
       // that fails mutual authentication.
       last_error = e.what();
+      // A stale cached session must not wedge every retry: fall back to a
+      // full handshake on the next attempt.
+      cached_session_ = {};
       if (attempt == attempts) break;
       const Millis delay = backoff_for_attempt(attempt);
       log::warn(kLogComponent,
@@ -91,6 +109,24 @@ std::unique_ptr<tls::TlsChannel> MyProxyClient::connect() {
   throw IoError(fmt::format(
       "could not reach repository on port {} after {} attempt(s): {}", port_,
       attempts, last_error));
+}
+
+void MyProxyClient::cache_session(tls::TlsChannel& channel) {
+  if (!session_resumption_) return;
+  // TLS 1.3 tickets ride with (or after) the server's first response, so by
+  // the end of a successful operation the session is resumable. Keep the
+  // previous session if this connection yielded no resumable one (e.g. a
+  // resumed connection whose ticket is still good).
+  tls::TlsSession session = channel.session();
+  if (session.valid()) cached_session_ = std::move(session);
+}
+
+gsi::DelegationRequest MyProxyClient::start_delegation(
+    const crypto::KeySpec& spec) {
+  if (key_pool_ != nullptr && key_pool_->spec() == spec) {
+    return gsi::begin_delegation(key_pool_->acquire());
+  }
+  return gsi::begin_delegation(spec);
 }
 
 Response MyProxyClient::transact(tls::TlsChannel& channel,
@@ -139,6 +175,7 @@ void MyProxyClient::put(std::string_view username,
                 fmt::format("server refused stored credential: {}",
                             final_response.error));
   }
+  cache_session(*channel);
   log::info(kLogComponent, "delegated credential to repository as '{}'",
             username);
 }
@@ -158,11 +195,12 @@ gsi::Credential MyProxyClient::get(std::string_view username,
   (void)transact(*channel, request);
 
   // We are the delegation receiver (Figure 2): fresh key, CSR out, chain in.
-  gsi::DelegationRequest delegation = gsi::begin_delegation(options.key_spec);
+  gsi::DelegationRequest delegation = start_delegation(options.key_spec);
   channel->send(delegation.csr_pem);
   const std::string chain_pem = channel->receive();
   gsi::Credential delegated =
       gsi::complete_delegation(std::move(delegation.key), chain_pem);
+  cache_session(*channel);
   log::info(kLogComponent, "received delegation for '{}' (expires {})",
             username, format_utc(delegated.not_after()));
   return delegated;
@@ -179,10 +217,13 @@ gsi::Credential MyProxyClient::renew(std::string_view username,
   request.want_limited = options.want_limited;
   (void)transact(*channel, request);
 
-  gsi::DelegationRequest delegation = gsi::begin_delegation(options.key_spec);
+  gsi::DelegationRequest delegation = start_delegation(options.key_spec);
   channel->send(delegation.csr_pem);
   const std::string chain_pem = channel->receive();
-  return gsi::complete_delegation(std::move(delegation.key), chain_pem);
+  gsi::Credential delegated =
+      gsi::complete_delegation(std::move(delegation.key), chain_pem);
+  cache_session(*channel);
+  return delegated;
 }
 
 void MyProxyClient::destroy(std::string_view username,
@@ -193,6 +234,7 @@ void MyProxyClient::destroy(std::string_view username,
   request.username = std::string(username);
   request.credential_name = std::string(name);
   (void)transact(*channel, request);
+  cache_session(*channel);
 }
 
 StoredCredentialInfo MyProxyClient::info(std::string_view username,
@@ -203,6 +245,7 @@ StoredCredentialInfo MyProxyClient::info(std::string_view username,
   request.username = std::string(username);
   request.credential_name = std::string(name);
   const Response response = transact(*channel, request);
+  cache_session(*channel);
 
   StoredCredentialInfo out;
   const auto owner = response.fields.find("OWNER");
@@ -230,6 +273,7 @@ std::vector<std::string> MyProxyClient::list(std::string_view username) {
   request.command = Command::kList;
   request.username = std::string(username);
   const Response response = transact(*channel, request);
+  cache_session(*channel);
   const auto names = response.fields.find("NAMES");
   if (names == response.fields.end()) return {};
   return strings::split(names->second, '\x1f');
@@ -243,6 +287,7 @@ std::string MyProxyClient::select_for_task(std::string_view username,
   request.username = std::string(username);
   request.task = std::string(task);
   const Response response = transact(*channel, request);
+  cache_session(*channel);
   const auto selected = response.fields.find("SELECTED");
   if (selected == response.fields.end()) {
     throw ProtocolError("server response missing SELECTED field");
@@ -262,6 +307,7 @@ void MyProxyClient::change_passphrase(std::string_view username,
   request.new_passphrase = std::string(new_phrase);
   request.credential_name = std::string(name);
   (void)transact(*channel, request);
+  cache_session(*channel);
 }
 
 void MyProxyClient::store(std::string_view username,
@@ -289,6 +335,7 @@ void MyProxyClient::store(std::string_view username,
                 fmt::format("server refused stored credential: {}",
                             final_response.error));
   }
+  cache_session(*channel);
 }
 
 gsi::Credential MyProxyClient::retrieve(std::string_view username,
@@ -302,6 +349,7 @@ gsi::Credential MyProxyClient::retrieve(std::string_view username,
   request.credential_name = std::string(name);
   (void)transact(*channel, request);
   const std::string pem = channel->receive();
+  cache_session(*channel);
   return gsi::Credential::from_pem(pem);
 }
 

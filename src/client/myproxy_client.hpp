@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/clock.hpp"
+#include "crypto/keypair_pool.hpp"
 #include "gsi/credential.hpp"
 #include "gsi/proxy.hpp"
 #include "pki/trust_store.hpp"
@@ -106,6 +107,32 @@ class MyProxyClient {
     return retry_policy_;
   }
 
+  /// Reuse TLS sessions across this client's connections (on by default):
+  /// after a successful operation the session is cached and offered on the
+  /// next connect, replacing the full handshake with an abbreviated one.
+  /// The server still enforces every ACL per request against the identity
+  /// it verified at the original full handshake.
+  void set_session_resumption(bool enabled) {
+    session_resumption_ = enabled;
+    if (!enabled) cached_session_ = {};
+  }
+
+  /// Pre-generated proxy keys for get()/renew() (the receiver-side keygen
+  /// is the dominant client cost with RSA specs). Only used when the
+  /// pool's spec matches the requested GetOptions::key_spec.
+  void set_key_pool(std::shared_ptr<crypto::KeyPairPool> pool) {
+    key_pool_ = std::move(pool);
+  }
+
+  /// Connection counters: how many connects resumed a cached session vs
+  /// performed a full handshake (for benches/tests).
+  [[nodiscard]] std::uint64_t resumed_connections() const {
+    return resumed_connections_;
+  }
+  [[nodiscard]] std::uint64_t full_connections() const {
+    return full_connections_;
+  }
+
   /// myproxy-init: create a proxy from `source` and delegate it to the
   /// repository under (`username`, `pass_phrase`).
   void put(std::string_view username, std::string_view pass_phrase,
@@ -174,6 +201,15 @@ class MyProxyClient {
   [[nodiscard]] protocol::Response transact(tls::TlsChannel& channel,
                                             const protocol::Request& request);
 
+  /// Snapshot the channel's session for the next connect (call once the
+  /// operation has succeeded; by then the server's ticket has arrived).
+  void cache_session(tls::TlsChannel& channel);
+
+  /// Receiver-side delegation start: pooled key when available, else a
+  /// synchronous generation for `spec`.
+  [[nodiscard]] gsi::DelegationRequest start_delegation(
+      const crypto::KeySpec& spec);
+
   gsi::Credential credential_;
   pki::TrustStore trust_store_;
   tls::TlsContext tls_context_;
@@ -181,6 +217,11 @@ class MyProxyClient {
   RetryPolicy retry_policy_;
   std::mt19937 jitter_rng_;
   std::optional<pki::DistinguishedName> server_identity_;
+  bool session_resumption_ = true;
+  tls::TlsSession cached_session_;
+  std::shared_ptr<crypto::KeyPairPool> key_pool_;
+  std::uint64_t resumed_connections_ = 0;
+  std::uint64_t full_connections_ = 0;
 };
 
 }  // namespace myproxy::client

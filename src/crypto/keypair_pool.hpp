@@ -1,0 +1,92 @@
+// Pre-generated key-pair pool for the delegation hot path.
+//
+// Figure 2 retrieval requires a *fresh* key pair on the delegation receiver
+// (client side of GET, server side of PUT). RSA-2048 generation costs tens
+// of milliseconds — the dominant term in myproxy-get-delegation latency
+// (the reason 2001 proxies used 512-bit keys). The pool moves that cost off
+// the request path: a background refill worker keeps up to `target_size`
+// key pairs ready, and acquire() pops one in microseconds.
+//
+// Security posture: pooled keys are generated in-process from the same
+// CSPRNG as synchronous generation, never serialized, and handed out
+// exactly once. Pre-generation changes *when* a key is made, not *how*.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "common/thread_pool.hpp"
+#include "crypto/key_pair.hpp"
+
+namespace myproxy::crypto {
+
+[[nodiscard]] constexpr bool operator==(const KeySpec& a,
+                                        const KeySpec& b) noexcept {
+  return a.type == b.type && (a.type == KeyType::kEc || a.rsa_bits == b.rsa_bits);
+}
+
+class KeyPairPool {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;       ///< acquire() served from the pool
+    std::uint64_t misses = 0;     ///< acquire() fell back to synchronous gen
+    std::uint64_t drained = 0;    ///< armed pool found empty by acquire()
+    std::uint64_t generated = 0;  ///< keys produced by the refill worker
+  };
+
+  /// Keeps up to `target_size` pre-generated `spec` keys. `refill_threads`
+  /// background workers regenerate after each acquire(). `target_size == 0`
+  /// disables pooling entirely (every acquire is a synchronous miss).
+  KeyPairPool(KeySpec spec, std::size_t target_size,
+              std::size_t refill_threads = 1);
+
+  KeyPairPool(const KeyPairPool&) = delete;
+  KeyPairPool& operator=(const KeyPairPool&) = delete;
+
+  /// Stops the refill workers and discards pooled keys.
+  ~KeyPairPool();
+
+  /// Pop a pre-generated key, or generate one synchronously when the pool
+  /// is drained or disabled. Always returns a fresh, never-handed-out key.
+  /// `from_pool` (optional) reports which path served this call.
+  [[nodiscard]] KeyPair acquire(bool* from_pool = nullptr);
+
+  /// Block until the pool holds `count` keys (capped at target_size).
+  /// Benchmarks and tests use this to measure warm-pool behaviour.
+  void prefill(std::size_t count);
+
+  /// Pause/resume background refill. While paused, acquire() drains the
+  /// pool and then falls back synchronously — benchmarks use this to keep
+  /// refill CPU out of the measured window.
+  void set_refill_enabled(bool enabled);
+
+  [[nodiscard]] const KeySpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] std::size_t target_size() const noexcept {
+    return target_size_;
+  }
+  [[nodiscard]] std::size_t available() const;
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  /// Schedule refill tasks for any deficit not already being generated.
+  void schedule_refill_locked();
+  void refill_task();
+
+  const KeySpec spec_;
+  const std::size_t target_size_;
+
+  mutable std::mutex mutex_;
+  std::deque<KeyPair> ready_;
+  std::size_t refills_in_flight_ = 0;
+  bool refill_enabled_ = true;
+  bool stopping_ = false;
+  Stats stats_;
+
+  /// Last member: destroyed (joined) first, so refill_task never touches a
+  /// destructed pool.
+  std::unique_ptr<ThreadPool> workers_;
+};
+
+}  // namespace myproxy::crypto

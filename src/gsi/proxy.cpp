@@ -76,8 +76,15 @@ Credential create_proxy(const Credential& issuer,
 }
 
 DelegationRequest begin_delegation(const crypto::KeySpec& key_spec) {
+  return begin_delegation(crypto::KeyPair::generate(key_spec));
+}
+
+DelegationRequest begin_delegation(crypto::KeyPair key) {
+  if (!key.valid() || !key.has_private()) {
+    throw PolicyError("delegation requires a fresh private key");
+  }
   DelegationRequest request;
-  request.key = crypto::KeyPair::generate(key_spec);
+  request.key = std::move(key);
   request.csr_pem =
       pki::CertificateRequest::create(delegation_placeholder_dn(),
                                       request.key)

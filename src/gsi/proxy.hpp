@@ -56,6 +56,11 @@ struct DelegationRequest {
 [[nodiscard]] DelegationRequest begin_delegation(
     const crypto::KeySpec& key_spec = crypto::KeySpec::ec());
 
+/// Step 1 with a caller-supplied fresh key (e.g. from a
+/// crypto::KeyPairPool): skips the synchronous generation, builds only the
+/// CSR. The key must be private and must never have been used before.
+[[nodiscard]] DelegationRequest begin_delegation(crypto::KeyPair key);
+
 /// Step 2 (sender): verify the CSR's proof of possession and sign a proxy
 /// certificate over its public key. Returns the full certificate chain PEM
 /// (new proxy first) for the receiver. Throws if `issuer` is expired.

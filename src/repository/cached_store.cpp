@@ -1,0 +1,166 @@
+#include "repository/cached_store.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace myproxy::repository {
+
+namespace {
+
+std::string record_key(std::string_view username, std::string_view name) {
+  std::string key;
+  key.reserve(username.size() + 1 + name.size());
+  key.append(username);
+  key.push_back('\x1e');
+  key.append(name);
+  return key;
+}
+
+}  // namespace
+
+CachedCredentialStore::CachedCredentialStore(
+    std::unique_ptr<CredentialStore> backing, std::size_t shards,
+    std::size_t max_entries_per_shard)
+    : backing_(std::move(backing)),
+      max_entries_per_shard_(std::max<std::size_t>(1, max_entries_per_shard)),
+      shards_(std::max<std::size_t>(1, shards)) {
+  if (backing_ == nullptr) {
+    throw Error(ErrorCode::kInternal,
+                "CachedCredentialStore requires a backing store");
+  }
+}
+
+CachedCredentialStore::Shard& CachedCredentialStore::shard_for(
+    std::string_view key) const {
+  return shards_[std::hash<std::string_view>{}(key) % shards_.size()];
+}
+
+std::vector<std::unique_lock<std::mutex>> CachedCredentialStore::lock_all()
+    const {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  // Always index order: cross-shard deadlock is impossible.
+  for (Shard& shard : shards_) locks.emplace_back(shard.mutex);
+  return locks;
+}
+
+void CachedCredentialStore::put(const CredentialRecord& record) {
+  const std::string key = record.key();
+  Shard& shard = shard_for(key);
+  const std::scoped_lock lock(shard.mutex);
+  backing_->put(record);
+  // Write-through: replace (don't just drop) so the pass-phrase change /
+  // OTP-advance path stays warm for the next retrieval.
+  auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+    it->second = record;
+    return;
+  }
+  if (shard.entries.size() >= max_entries_per_shard_) {
+    invalidations_.fetch_add(shard.entries.size(),
+                             std::memory_order_relaxed);
+    shard.entries.clear();
+  }
+  shard.entries.emplace(key, record);
+}
+
+std::optional<CredentialRecord> CachedCredentialStore::get(
+    std::string_view username, std::string_view name) const {
+  const std::string key = record_key(username, name);
+  Shard& shard = shard_for(key);
+  const std::scoped_lock lock(shard.mutex);
+  const auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  // Fill under the shard lock: a concurrent mutation of this key orders
+  // strictly before or after this read-and-insert, never between.
+  std::optional<CredentialRecord> record = backing_->get(username, name);
+  if (record.has_value()) {
+    if (shard.entries.size() >= max_entries_per_shard_) {
+      invalidations_.fetch_add(shard.entries.size(),
+                               std::memory_order_relaxed);
+      shard.entries.clear();
+    }
+    shard.entries.emplace(key, *record);
+  }
+  return record;
+}
+
+bool CachedCredentialStore::remove(std::string_view username,
+                                   std::string_view name) {
+  const std::string key = record_key(username, name);
+  Shard& shard = shard_for(key);
+  const std::scoped_lock lock(shard.mutex);
+  const bool removed = backing_->remove(username, name);
+  if (shard.entries.erase(key) > 0) {
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return removed;
+}
+
+std::size_t CachedCredentialStore::remove_all(std::string_view username) {
+  const auto locks = lock_all();
+  const std::size_t removed = backing_->remove_all(username);
+  for (Shard& shard : shards_) {
+    for (auto it = shard.entries.begin(); it != shard.entries.end();) {
+      const std::string_view key = it->first;
+      const std::size_t sep = key.find('\x1e');
+      if (key.substr(0, sep) == username) {
+        invalidations_.fetch_add(1, std::memory_order_relaxed);
+        it = shard.entries.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return removed;
+}
+
+std::vector<CredentialRecord> CachedCredentialStore::list(
+    std::string_view username) const {
+  // Listings are metadata-path, not the retrieval hot path: delegate.
+  return backing_->list(username);
+}
+
+std::size_t CachedCredentialStore::size() const { return backing_->size(); }
+
+std::size_t CachedCredentialStore::sweep_expired() {
+  const auto locks = lock_all();
+  const std::size_t swept = backing_->sweep_expired();
+  if (swept > 0) {
+    // The backing store reports a count, not keys — drop everything rather
+    // than serve a record whose file the sweep just deleted.
+    for (Shard& shard : shards_) {
+      invalidations_.fetch_add(shard.entries.size(),
+                               std::memory_order_relaxed);
+      shard.entries.clear();
+    }
+  }
+  return swept;
+}
+
+CachedCredentialStore::Stats CachedCredentialStore::stats() const {
+  Stats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.invalidations = invalidations_.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::size_t CachedCredentialStore::cached_entries() const {
+  std::size_t total = 0;
+  for (Shard& shard : shards_) {
+    const std::scoped_lock lock(shard.mutex);
+    total += shard.entries.size();
+  }
+  return total;
+}
+
+}  // namespace myproxy::repository

@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "common/format.hpp"
 #include "common/logging.hpp"
+#include "common/strings.hpp"
 #include "gsi/proxy.hpp"
 
 namespace myproxy::server {
@@ -36,6 +37,44 @@ Response error_response(const Error& error) {
   }
 }
 
+// --- Session-ticket identity (TLS resumption) -------------------------------
+//
+// A full handshake runs the complete GSI chain verification; the result is
+// sealed into the session ticket (encrypted + MACed under the process's
+// ticket key, so only this server can mint or read one). A resuming client
+// proves possession of the ticket's secret, which is the same client the
+// identity was verified for — re-running X.509 verification would add
+// nothing, and the certificate chain is not re-sent on resumption anyway.
+
+constexpr char kTicketFieldSep = '\x1f';
+
+std::string seal_identity(const pki::VerifiedIdentity& peer) {
+  return fmt::format("v1{}{}{}{}{}{}{}{}", kTicketFieldSep,
+                     peer.identity.str(), kTicketFieldSep, peer.proxy_depth,
+                     kTicketFieldSep, peer.limited ? 1 : 0, kTicketFieldSep,
+                     to_unix(peer.expires_at));
+}
+
+std::optional<pki::VerifiedIdentity> unseal_identity(
+    std::string_view appdata) {
+  const auto parts = strings::split(appdata, kTicketFieldSep);
+  if (parts.size() != 5 || parts[0] != "v1") return std::nullopt;
+  try {
+    pki::VerifiedIdentity peer;
+    peer.identity = pki::DistinguishedName::parse(parts[1]);
+    peer.proxy_depth = static_cast<std::size_t>(std::stoul(parts[2]));
+    peer.limited = parts[3] == "1";
+    peer.expires_at = from_unix(std::stoll(parts[4]));
+    // The ticket may outlive the credential that authenticated the original
+    // connection (proxies are short-lived by design, §2.3); an identity
+    // whose chain has lapsed must re-authenticate with a full handshake.
+    if (now() >= peer.expires_at) return std::nullopt;
+    return peer;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
 }  // namespace
 
 MyProxyServer::MyProxyServer(
@@ -45,7 +84,10 @@ MyProxyServer::MyProxyServer(
       trust_store_(std::move(trust_store)),
       repository_(std::move(repository)),
       config_(std::move(config)),
-      tls_context_(tls::TlsContext::make(host_credential_)) {
+      tls_context_(tls::TlsContext::make(
+          host_credential_, tls::PeerAuth::kRequired,
+          tls::SessionResumption{config_.tls_session_resumption,
+                                 config_.tls_session_timeout})) {
   if (repository_ == nullptr) {
     throw Error(ErrorCode::kInternal, "server requires a repository");
   }
@@ -54,6 +96,11 @@ MyProxyServer::MyProxyServer(
 MyProxyServer::~MyProxyServer() { stop(); }
 
 void MyProxyServer::start() {
+  if (config_.keygen_pool_size > 0) {
+    key_pool_ = std::make_unique<crypto::KeyPairPool>(
+        config_.delegation_key_spec, config_.keygen_pool_size,
+        config_.keygen_pool_refill_threads);
+  }
   listener_.emplace(net::TcpListener::bind(config_.port));
   port_ = listener_->port();
   pool_ = std::make_unique<ThreadPool>(
@@ -97,6 +144,7 @@ void MyProxyServer::stop() {
   if (accept_thread_.joinable()) accept_thread_.join();
   if (sweep_thread_.joinable()) sweep_thread_.join();
   pool_.reset();  // drains and joins workers
+  key_pool_.reset();  // after workers: handlers may still hold the pool
   if (listener_.has_value()) listener_->close();
   log::info(kLogComponent, "myproxy-server stopped");
 }
@@ -163,11 +211,11 @@ void MyProxyServer::handle_connection(net::Socket socket) {
     // Handshake done: switch the socket from the handshake budget to the
     // per-request idle budget.
     channel->set_deadlines(config_.request_timeout, config_.request_timeout);
-    // Mutual authentication: verify the client's chain under GSI rules.
+    // Mutual authentication: verify the client's chain under GSI rules on a
+    // full handshake, or unseal the ticket-borne identity on a resumption.
     pki::VerifiedIdentity peer;
     try {
-      peer = trust_store_.verify(channel->peer_chain(),
-                                 config_.verify_options);
+      peer = authenticate_peer(*channel);
     } catch (const Error& e) {
       stats_.auth_failures.fetch_add(1, std::memory_order_relaxed);
       log::warn(kLogComponent, "client authentication failed: {}", e.what());
@@ -187,6 +235,38 @@ void MyProxyServer::handle_connection(net::Socket socket) {
     stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
     log::warn(kLogComponent, "connection aborted: {}", e.what());
   }
+}
+
+pki::VerifiedIdentity MyProxyServer::authenticate_peer(
+    tls::TlsChannel& channel) {
+  if (channel.resumed()) {
+    stats_.resumed_handshakes.fetch_add(1, std::memory_order_relaxed);
+    // OpenSSL only completes a resumption after our ticket-decrypt callback
+    // accepted the ticket, and tickets are minted exclusively by
+    // arm_session_ticket below — so appdata is present unless the sealed
+    // identity has expired in the meantime.
+    const auto& appdata = channel.ticket_appdata();
+    if (appdata.has_value()) {
+      if (auto peer = unseal_identity(*appdata); peer.has_value()) {
+        log::debug(kLogComponent, "resumed session for '{}'",
+                   peer->identity.str());
+        return *peer;
+      }
+    }
+    throw AuthenticationError(
+        "resumed session does not carry a live verified identity");
+  }
+
+  stats_.full_handshakes.fetch_add(1, std::memory_order_relaxed);
+  pki::VerifiedIdentity peer =
+      trust_store_.verify(channel.peer_chain(), config_.verify_options);
+  // Conservative ticket policy: identities carrying a restriction policy
+  // (paper §6.5) are not serialized into tickets — the effective policy
+  // must be recomputed from the chain, so such peers always re-handshake.
+  if (config_.tls_session_resumption && !peer.policy.has_value()) {
+    channel.arm_session_ticket(seal_identity(peer));
+  }
+  return peer;
 }
 
 void MyProxyServer::serve_channel(net::Channel& channel,
@@ -269,6 +349,18 @@ void MyProxyServer::serve_channel(net::Channel& channel,
   }
 }
 
+crypto::KeyPair MyProxyServer::next_delegation_key() {
+  if (key_pool_ == nullptr) {
+    stats_.keypool_misses.fetch_add(1, std::memory_order_relaxed);
+    return crypto::KeyPair::generate(config_.delegation_key_spec);
+  }
+  bool from_pool = false;
+  crypto::KeyPair key = key_pool_->acquire(&from_pool);
+  auto& counter = from_pool ? stats_.keypool_hits : stats_.keypool_misses;
+  counter.fetch_add(1, std::memory_order_relaxed);
+  return key;
+}
+
 bool MyProxyServer::retriever_allowed(
     const repository::CredentialRecord& record,
     const pki::VerifiedIdentity& peer) const {
@@ -294,7 +386,8 @@ void MyProxyServer::handle_put(net::Channel& channel, const Request& request,
   // The server runs the *receiver* side of delegation: fresh key, CSR out,
   // signed chain back (the client's private key never travels — and
   // neither does the user's long-term key; we receive only a proxy).
-  gsi::DelegationRequest delegation = gsi::begin_delegation();
+  gsi::DelegationRequest delegation =
+      gsi::begin_delegation(next_delegation_key());
   channel.send(Response::make_ok().serialize());
   channel.send(delegation.csr_pem);
 

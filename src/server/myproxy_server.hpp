@@ -19,6 +19,7 @@
 #include <thread>
 
 #include "common/thread_pool.hpp"
+#include "crypto/keypair_pool.hpp"
 #include "gsi/acl.hpp"
 #include "server/audit_log.hpp"
 #include "gsi/credential.hpp"
@@ -71,6 +72,27 @@ struct ServerConfig {
 
   /// Bound on the worker-pool queue; overflow is shed like max_connections.
   std::size_t max_pending_connections = 256;
+
+  /// Key type for the server-side delegation key freshly generated on every
+  /// PUT (the receiver half of Figure 1). Also the spec the key pool keeps
+  /// pre-generated.
+  crypto::KeySpec delegation_key_spec = crypto::KeySpec::ec();
+
+  /// Pre-generated delegation keys kept ready (0 disables the pool and
+  /// every PUT pays a synchronous keygen).
+  std::size_t keygen_pool_size = 32;
+
+  /// Background threads refilling the key pool.
+  std::size_t keygen_pool_refill_threads = 1;
+
+  /// TLS session resumption: repeat clients (the portal workload, §3.2)
+  /// skip the full handshake using a session ticket that carries the
+  /// identity this server verified at full-handshake time.
+  bool tls_session_resumption = true;
+
+  /// Ticket lifetime; the sealed identity additionally expires with the
+  /// client credential that authenticated the original connection.
+  Seconds tls_session_timeout{3600};
 };
 
 /// Operation counters for tests, benchmarks, and the audit story.
@@ -84,6 +106,12 @@ struct ServerStats {
   std::atomic<std::uint64_t> protocol_errors{0};
   std::atomic<std::uint64_t> timeouts{0};          ///< connections reaped by deadline
   std::atomic<std::uint64_t> shed_connections{0};  ///< refused at the cap
+
+  // Hot-path instrumentation (keypair pool, TLS resumption).
+  std::atomic<std::uint64_t> full_handshakes{0};     ///< fresh TLS handshakes
+  std::atomic<std::uint64_t> resumed_handshakes{0};  ///< ticket resumptions
+  std::atomic<std::uint64_t> keypool_hits{0};    ///< delegation keys from pool
+  std::atomic<std::uint64_t> keypool_misses{0};  ///< synchronous fallbacks
 };
 
 class MyProxyServer {
@@ -120,9 +148,25 @@ class MyProxyServer {
   void serve_channel(net::Channel& channel,
                      const pki::VerifiedIdentity& peer);
 
+  /// Delegation key pool (null when keygen_pool_size == 0); exposed for
+  /// stats in tests and benchmarks.
+  [[nodiscard]] const crypto::KeyPairPool* key_pool() const {
+    return key_pool_.get();
+  }
+
  private:
   void accept_loop();
   void handle_connection(net::Socket socket);
+
+  /// Fresh delegation key: pooled when possible, synchronous otherwise.
+  [[nodiscard]] crypto::KeyPair next_delegation_key();
+
+  /// Identity for this connection: the GSI-verified chain on a full
+  /// handshake (then arms a session ticket sealing that identity), or the
+  /// identity unsealed from the ticket on a resumed one. Throws
+  /// AuthenticationError when neither yields a live identity.
+  [[nodiscard]] pki::VerifiedIdentity authenticate_peer(
+      tls::TlsChannel& channel);
 
   /// Refuse `socket` because the server is at capacity: best-effort framed
   /// "server busy" error on the raw socket, then close. Never blocks the
@@ -168,6 +212,7 @@ class MyProxyServer {
   ServerConfig config_;
   tls::TlsContext tls_context_;
 
+  std::unique_ptr<crypto::KeyPairPool> key_pool_;
   std::optional<net::TcpListener> listener_;
   std::uint16_t port_ = 0;
   std::thread accept_thread_;

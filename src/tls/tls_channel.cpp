@@ -32,6 +32,23 @@ int accept_all_verify_callback(int /*preverify_ok*/,
   return 1;
 }
 
+// Per-SSL pointer back to the owning TlsChannel::Impl so the ticket
+// callbacks (which only see the SSL*) can exchange appdata with the
+// channel object.
+int impl_ex_data_index() {
+  static const int index =
+      SSL_get_ex_new_index(0, nullptr, nullptr, nullptr, nullptr);
+  return index;
+}
+
+// Defined after TlsChannel::Impl (they dereference it).
+int ticket_gen_callback(SSL* ssl, void* arg);
+SSL_TICKET_RETURN ticket_decrypt_callback(SSL* ssl, SSL_SESSION* session,
+                                          const unsigned char* keyname,
+                                          size_t keyname_length,
+                                          SSL_TICKET_STATUS status,
+                                          void* arg);
+
 [[noreturn]] void throw_ssl(std::string_view what, SSL* ssl, int rc) {
   const int saved_errno = errno;
   const int err = SSL_get_error(ssl, rc);
@@ -50,8 +67,18 @@ int accept_all_verify_callback(int /*preverify_ok*/,
 
 }  // namespace
 
+TlsSession TlsSession::adopt(SSL_SESSION* session) {
+  TlsSession out;
+  if (session != nullptr) {
+    out.session_ = std::shared_ptr<SSL_SESSION>(
+        session, [](SSL_SESSION* p) { SSL_SESSION_free(p); });
+  }
+  return out;
+}
+
 TlsContext TlsContext::make(const gsi::Credential& credential,
-                            PeerAuth peer_auth) {
+                            PeerAuth peer_auth,
+                            const SessionResumption& resumption) {
   ignore_sigpipe_once();
   SSL_CTX* raw = SSL_CTX_new(TLS_method());
   crypto::check_ptr(raw, "SSL_CTX_new");
@@ -86,6 +113,28 @@ TlsContext TlsContext::make(const gsi::Credential& credential,
     // authenticate with the user name + pass phrase form instead.
     SSL_CTX_set_verify(raw, SSL_VERIFY_NONE, nullptr);
   }
+
+  if (resumption.enabled) {
+    // Resumption is ticket-based (works for both TLS 1.2 and 1.3, stateless
+    // on the server). Automatic ticket issuance is suppressed — the server
+    // decides per connection, *after* GSI verification, whether to arm a
+    // ticket carrying the authenticated identity (arm_session_ticket).
+    static const unsigned char kSidCtx[] = "myproxy";
+    SSL_CTX_set_session_id_context(raw, kSidCtx, sizeof(kSidCtx) - 1);
+    SSL_CTX_set_session_cache_mode(raw, SSL_SESS_CACHE_SERVER |
+                                            SSL_SESS_CACHE_NO_INTERNAL);
+    SSL_CTX_set_timeout(raw, static_cast<long>(resumption.timeout.count()));
+    SSL_CTX_set_num_tickets(raw, 0);
+    crypto::check(SSL_CTX_set_session_ticket_cb(raw, ticket_gen_callback,
+                                                ticket_decrypt_callback,
+                                                nullptr),
+                  "SSL_CTX_set_session_ticket_cb");
+  } else {
+    // Explicitly no resumption: baseline contexts must not hand out
+    // tickets a future connection could use to skip re-authentication.
+    SSL_CTX_set_session_cache_mode(raw, SSL_SESS_CACHE_OFF);
+    SSL_CTX_set_num_tickets(raw, 0);
+  }
   return out;
 }
 
@@ -106,10 +155,65 @@ struct TlsChannel::Impl {
   net::Socket socket;
   SSL* ssl = nullptr;
 
+  /// Appdata to seal into the next ticket generated on this connection
+  /// (set by arm_session_ticket on the accepting side).
+  std::string ticket_appdata_out;
+
+  /// Appdata recovered from the ticket the peer resumed with.
+  std::optional<std::string> ticket_appdata_in;
+
   ~Impl() {
     if (ssl != nullptr) SSL_free(ssl);
   }
 };
+
+namespace {
+
+TlsChannel::Impl* impl_from_ssl(SSL* ssl) {
+  return static_cast<TlsChannel::Impl*>(
+      SSL_get_ex_data(ssl, impl_ex_data_index()));
+}
+
+int ticket_gen_callback(SSL* ssl, void* /*arg*/) {
+  // Only issue tickets the application armed: a ticket without sealed
+  // identity appdata would let a resuming peer skip GSI verification
+  // without giving the server anything to authorize against.
+  TlsChannel::Impl* impl = impl_from_ssl(ssl);
+  if (impl == nullptr || impl->ticket_appdata_out.empty()) return 0;
+  if (SSL_SESSION_set1_ticket_appdata(
+          SSL_get_session(ssl), impl->ticket_appdata_out.data(),
+          impl->ticket_appdata_out.size()) != 1) {
+    return 0;
+  }
+  return 1;
+}
+
+SSL_TICKET_RETURN ticket_decrypt_callback(SSL* ssl, SSL_SESSION* session,
+                                          const unsigned char* /*keyname*/,
+                                          size_t /*keyname_length*/,
+                                          SSL_TICKET_STATUS status,
+                                          void* /*arg*/) {
+  if (status != SSL_TICKET_SUCCESS && status != SSL_TICKET_SUCCESS_RENEW) {
+    // Undecryptable / unrecognized ticket (e.g. issued by a previous server
+    // process): ignore it and fall back to a full handshake.
+    return SSL_TICKET_RETURN_IGNORE;
+  }
+  void* data = nullptr;
+  size_t length = 0;
+  if (SSL_SESSION_get0_ticket_appdata(session, &data, &length) != 1 ||
+      data == nullptr || length == 0) {
+    // Ticket without sealed identity: never accept it for resumption.
+    return SSL_TICKET_RETURN_IGNORE;
+  }
+  if (TlsChannel::Impl* impl = impl_from_ssl(ssl); impl != nullptr) {
+    impl->ticket_appdata_in =
+        std::string(static_cast<const char*>(data), length);
+  }
+  return status == SSL_TICKET_SUCCESS_RENEW ? SSL_TICKET_RETURN_USE_RENEW
+                                            : SSL_TICKET_RETURN_USE;
+}
+
+}  // namespace
 
 TlsChannel::TlsChannel(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {
   // Collect the peer chain, leaf first. A missing certificate is legal
@@ -145,6 +249,8 @@ std::unique_ptr<TlsChannel> TlsChannel::accept(
     impl->socket.set_deadlines(handshake_timeout, handshake_timeout);
   }
   impl->ssl = crypto::check_ptr(SSL_new(context.native()), "SSL_new");
+  crypto::check(SSL_set_ex_data(impl->ssl, impl_ex_data_index(), impl.get()),
+                "SSL_set_ex_data");
   crypto::check(SSL_set_fd(impl->ssl, impl->socket.fd()), "SSL_set_fd");
   const int rc = SSL_accept(impl->ssl);
   if (rc != 1) throw_ssl("TLS accept handshake failed", impl->ssl, rc);
@@ -153,14 +259,20 @@ std::unique_ptr<TlsChannel> TlsChannel::accept(
 
 std::unique_ptr<TlsChannel> TlsChannel::connect(
     const TlsContext& context, net::Socket socket,
-    std::chrono::milliseconds handshake_timeout) {
+    std::chrono::milliseconds handshake_timeout, const TlsSession* resume) {
   auto impl = std::make_unique<Impl>();
   impl->socket = std::move(socket);
   if (handshake_timeout.count() > 0) {
     impl->socket.set_deadlines(handshake_timeout, handshake_timeout);
   }
   impl->ssl = crypto::check_ptr(SSL_new(context.native()), "SSL_new");
+  crypto::check(SSL_set_ex_data(impl->ssl, impl_ex_data_index(), impl.get()),
+                "SSL_set_ex_data");
   crypto::check(SSL_set_fd(impl->ssl, impl->socket.fd()), "SSL_set_fd");
+  if (resume != nullptr && resume->valid()) {
+    crypto::check(SSL_set_session(impl->ssl, resume->native()),
+                  "SSL_set_session");
+  }
   const int rc = SSL_connect(impl->ssl);
   if (rc != 1) throw_ssl("TLS connect handshake failed", impl->ssl, rc);
   return std::unique_ptr<TlsChannel>(new TlsChannel(std::move(impl)));
@@ -211,6 +323,57 @@ void TlsChannel::close() noexcept {
 
 std::string TlsChannel::protocol_version() const {
   return SSL_get_version(impl_->ssl);
+}
+
+bool TlsChannel::resumed() const {
+  return SSL_session_reused(impl_->ssl) != 0;
+}
+
+void TlsChannel::arm_session_ticket(std::string appdata) {
+  if (appdata.empty()) return;
+  // SSL_new_session_ticket sidesteps SSL_CTX_set_num_tickets(ctx, 0), so a
+  // context built without resumption would still mint a (callback-free,
+  // identity-less) ticket here. Only resumption-enabled contexts carry
+  // SSL_SESS_CACHE_SERVER; treat everything else as a no-op.
+  const long cache_mode =
+      SSL_CTX_get_session_cache_mode(SSL_get_SSL_CTX(impl_->ssl));
+  if ((cache_mode & SSL_SESS_CACHE_SERVER) == 0) return;
+  impl_->ticket_appdata_out = std::move(appdata);
+  // SSL_new_session_ticket queues a NewSessionTicket; it leaves with the
+  // next SSL_write. Fails benignly on contexts without resumption or on
+  // TLS 1.2 connections (which got their ticket, if any, in-handshake).
+  if (SSL_new_session_ticket(impl_->ssl) != 1) {
+    impl_->ticket_appdata_out.clear();
+    (void)crypto::drain_error_queue();
+  }
+}
+
+const std::optional<std::string>& TlsChannel::ticket_appdata() const {
+  return impl_->ticket_appdata_in;
+}
+
+TlsSession TlsChannel::session() const {
+  SSL_SESSION* session = SSL_get1_session(impl_->ssl);  // +1 ref
+  if (session == nullptr) return {};
+  // Ticketless TLS 1.3 sessions still claim to be resumable (OpenSSL
+  // synthesizes a session id); without a ticket the server can never
+  // accept them, so treat them as non-resumable.
+  if (SSL_SESSION_is_resumable(session) != 1 ||
+      SSL_SESSION_has_ticket(session) != 1) {
+    SSL_SESSION_free(session);
+    return {};
+  }
+  // Snapshot the session: the live object stays referenced by the SSL,
+  // and tearing that connection down without a bidirectional close_notify
+  // marks it not-resumable in place, which would silently disable the
+  // pre_shared_key offer on the next connect.
+  SSL_SESSION* snapshot = SSL_SESSION_dup(session);
+  SSL_SESSION_free(session);
+  if (snapshot == nullptr) {
+    (void)crypto::drain_error_queue();
+    return {};
+  }
+  return TlsSession::adopt(snapshot);
 }
 
 }  // namespace myproxy::tls

@@ -12,6 +12,7 @@
 
 #include <chrono>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -21,14 +22,51 @@
 #include "pki/certificate.hpp"
 
 using SSL_CTX = struct ssl_ctx_st;
+using SSL_SESSION = struct ssl_session_st;
 
 namespace myproxy::tls {
+
+/// A resumable TLS session handle (reference-counted SSL_SESSION). Clients
+/// capture one after a connection's reads have processed the server's
+/// session tickets, and pass it to TlsChannel::connect to skip the full
+/// handshake on the next connection (the portal's many-short-connections
+/// workload, paper §3.2).
+class TlsSession {
+ public:
+  TlsSession() = default;
+
+  [[nodiscard]] bool valid() const noexcept { return session_ != nullptr; }
+  [[nodiscard]] SSL_SESSION* native() const noexcept {
+    return session_.get();
+  }
+
+  /// Adopt an SSL_SESSION (takes one reference).
+  static TlsSession adopt(SSL_SESSION* session);
+
+ private:
+  std::shared_ptr<SSL_SESSION> session_;
+};
 
 /// Whether the peer must present a certificate. GSI connections require
 /// mutual authentication; the portal's browser-facing HTTPS (§5.2) is
 /// server-auth only, since 2001-era browsers hold no Grid credentials —
 /// that asymmetry is the paper's core problem statement.
 enum class PeerAuth { kRequired, kNone };
+
+/// Server-side session resumption policy. When enabled, the accepting
+/// context issues session tickets *on demand* (TlsChannel::arm_session_
+/// ticket, called only after the application has verified the peer's GSI
+/// chain) and recovers the application data sealed into a ticket when a
+/// client resumes. Tickets are encrypted and authenticated under the
+/// process's ticket key, so the recovered appdata is exactly what this
+/// server wrote at full-handshake time.
+struct SessionResumption {
+  bool enabled = false;
+  /// Ticket/session lifetime; resumption after this requires a full
+  /// handshake. Application appdata should carry its own expiry too
+  /// (credentials outlive or underlive TLS state independently).
+  std::chrono::seconds timeout{3600};
+};
 
 /// Holds an SSL_CTX configured with a credential (certificate, key, chain).
 /// One context is typically shared by many channels.
@@ -39,7 +77,8 @@ class TlsContext {
   /// accepted unconditionally at the TLS layer — callers must pass the
   /// peer chain to TrustStore::verify before trusting the connection.
   static TlsContext make(const gsi::Credential& credential,
-                         PeerAuth peer_auth = PeerAuth::kRequired);
+                         PeerAuth peer_auth = PeerAuth::kRequired,
+                         const SessionResumption& resumption = {});
 
   /// Context with no credential at all — a browser-like client that can
   /// authenticate the server but presents nothing itself.
@@ -64,10 +103,14 @@ class TlsChannel final : public net::Channel {
       std::chrono::milliseconds handshake_timeout = {});
 
   /// Run the connecting-side handshake over `socket`; `handshake_timeout`
-  /// as in accept().
+  /// as in accept(). A valid `resume` session is offered to the server —
+  /// check resumed() afterwards to see whether it was honoured (a server
+  /// that lost or expired the session silently falls back to a full
+  /// handshake; the connection still succeeds).
   static std::unique_ptr<TlsChannel> connect(
       const TlsContext& context, net::Socket socket,
-      std::chrono::milliseconds handshake_timeout = {});
+      std::chrono::milliseconds handshake_timeout = {},
+      const TlsSession* resume = nullptr);
 
   /// Re-arm the underlying socket deadlines (e.g. switch from handshake to
   /// per-request budgets). Zero clears a deadline.
@@ -94,8 +137,32 @@ class TlsChannel final : public net::Channel {
   /// Negotiated protocol version string ("TLSv1.3"), for logs/benches.
   [[nodiscard]] std::string protocol_version() const;
 
- private:
+  /// True when this connection resumed a previous session (abbreviated
+  /// handshake) instead of performing a full one.
+  [[nodiscard]] bool resumed() const;
+
+  /// Accepting side, after application-layer authentication: seal `appdata`
+  /// into a session ticket and queue it for the peer (sent with the next
+  /// write). Requires a context built with SessionResumption::enabled;
+  /// no-op otherwise. Call at most once per connection.
+  void arm_session_ticket(std::string appdata);
+
+  /// Accepting side of a resumed connection: the appdata sealed into the
+  /// ticket the client presented; nullopt on full handshakes and on
+  /// contexts without resumption.
+  [[nodiscard]] const std::optional<std::string>& ticket_appdata() const;
+
+  /// Connecting side: snapshot the current session for later resumption.
+  /// Call after at least one receive() so TLS 1.3 tickets (delivered after
+  /// the handshake) have been processed. Returns an invalid session when
+  /// nothing resumable is available.
+  [[nodiscard]] TlsSession session() const;
+
+  /// Opaque connection state; public only so the OpenSSL ticket callbacks
+  /// (free functions in the implementation file) can name it.
   struct Impl;
+
+ private:
   explicit TlsChannel(std::unique_ptr<Impl> impl);
 
   std::unique_ptr<Impl> impl_;

@@ -1,0 +1,128 @@
+// KeyPairPool: pooled acquire, synchronous fallback, refill, and the
+// stats that the server surfaces as keypool_hits / keypool_misses.
+#include "crypto/keypair_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace myproxy::crypto {
+namespace {
+
+// EC keys generate in microseconds, keeping these tests fast; the pool
+// logic is identical for RSA (only the per-key cost changes).
+const KeySpec kSpec = KeySpec::ec();
+
+TEST(KeySpecEquality, ComparesTypeAndRsaBits) {
+  EXPECT_TRUE(KeySpec::ec() == KeySpec::ec());
+  EXPECT_TRUE(KeySpec::rsa(2048) == KeySpec::rsa(2048));
+  EXPECT_FALSE(KeySpec::rsa(2048) == KeySpec::rsa(1024));
+  EXPECT_FALSE(KeySpec::rsa(2048) == KeySpec::ec());
+  // EC ignores rsa_bits: the factory zeroes it, but any leftover value
+  // must not break equality.
+  KeySpec a = KeySpec::ec();
+  KeySpec b = KeySpec::ec();
+  b.rsa_bits = 2048;
+  EXPECT_TRUE(a == b);
+}
+
+TEST(KeyPairPoolTest, PrefilledPoolServesHits) {
+  KeyPairPool pool(kSpec, 4);
+  pool.set_refill_enabled(false);
+  pool.prefill(4);
+  ASSERT_EQ(pool.available(), 4u);
+
+  bool from_pool = false;
+  const KeyPair key = pool.acquire(&from_pool);
+  EXPECT_TRUE(from_pool);
+  EXPECT_TRUE(key.valid());
+  EXPECT_TRUE(key.has_private());
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 0u);
+}
+
+TEST(KeyPairPoolTest, DrainedPoolFallsBackSynchronously) {
+  KeyPairPool pool(kSpec, 2);
+  pool.set_refill_enabled(false);
+  pool.prefill(2);
+
+  bool from_pool = false;
+  for (int i = 0; i < 2; ++i) (void)pool.acquire(&from_pool);
+  // Pool is now empty and refill is paused: acquire must still succeed.
+  const KeyPair key = pool.acquire(&from_pool);
+  EXPECT_FALSE(from_pool);
+  EXPECT_TRUE(key.valid());
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.drained, 1u);
+}
+
+TEST(KeyPairPoolTest, DisabledPoolAlwaysMisses) {
+  KeyPairPool pool(kSpec, 0);
+  bool from_pool = true;
+  const KeyPair key = pool.acquire(&from_pool);
+  EXPECT_FALSE(from_pool);
+  EXPECT_TRUE(key.valid());
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.drained, 0u);  // an unarmed pool is not "drained"
+}
+
+TEST(KeyPairPoolTest, RefillReplenishesAfterAcquire) {
+  KeyPairPool pool(kSpec, 3);
+  pool.prefill(3);
+  (void)pool.acquire();
+  // The background worker should restore the target level.
+  for (int i = 0; i < 200 && pool.available() < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(pool.available(), 3u);
+  EXPECT_GE(pool.stats().generated, 1u);
+}
+
+TEST(KeyPairPoolTest, EveryKeyHandedOutOnce) {
+  KeyPairPool pool(kSpec, 4);
+  pool.prefill(4);
+  // Distinct public keys across pooled and fallback acquisitions: a pooled
+  // key is handed out exactly once and never duplicated.
+  std::set<std::string> seen;
+  for (int i = 0; i < 8; ++i) {
+    seen.insert(pool.acquire().public_pem());
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(KeyPairPoolTest, ConcurrentAcquireIsSafeAndFresh) {
+  KeyPairPool pool(kSpec, 8, 2);
+  pool.prefill(8);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 16;
+  std::vector<std::thread> threads;
+  std::vector<std::vector<std::string>> pems(kThreads);
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, &pems, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        pems[t].push_back(pool.acquire().public_pem());
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  std::set<std::string> unique;
+  for (const auto& list : pems) unique.insert(list.begin(), list.end());
+  EXPECT_EQ(unique.size(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+}  // namespace
+}  // namespace myproxy::crypto

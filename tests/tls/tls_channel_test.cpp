@@ -211,6 +211,91 @@ TEST(TlsChannel, AnonymousClientRejectedByStrictServer) {
   EXPECT_TRUE(server_failed);  // the strict side always refuses
 }
 
+/// Handshake against a resumption-enabled server context, optionally
+/// offering a previous session.
+std::pair<std::unique_ptr<TlsChannel>, std::unique_ptr<TlsChannel>>
+resumable_handshake(const TlsContext& server_ctx,
+                    const TlsContext& client_ctx,
+                    const TlsSession* resume = nullptr) {
+  auto [server_sock, client_sock] = net::socket_pair();
+  auto server_future = std::async(
+      std::launch::async,
+      [&server_ctx, sock = std::move(server_sock)]() mutable {
+        return TlsChannel::accept(server_ctx, std::move(sock));
+      });
+  auto client = TlsChannel::connect(client_ctx, std::move(client_sock),
+                                    std::chrono::milliseconds{}, resume);
+  return {server_future.get(), std::move(client)};
+}
+
+TEST(TlsChannelResumption, TicketRoundTripCarriesAppdata) {
+  const auto server_cred = make_user("tls-resume-server");
+  const auto client_cred = make_user("tls-resume-client");
+  SessionResumption resumption;
+  resumption.enabled = true;
+  const TlsContext server_ctx =
+      TlsContext::make(server_cred, PeerAuth::kRequired, resumption);
+  const TlsContext client_ctx = TlsContext::make(client_cred);
+
+  TlsSession session;
+  {
+    auto [server, client] = resumable_handshake(server_ctx, client_ctx);
+    EXPECT_FALSE(server->resumed());
+    EXPECT_FALSE(client->resumed());
+    EXPECT_FALSE(server->ticket_appdata().has_value());
+
+    server->arm_session_ticket("verified-identity-blob");
+    server->send("hello");  // the ticket rides with this write
+    EXPECT_EQ(client->receive(), "hello");
+    session = client->session();
+    ASSERT_TRUE(session.valid());
+  }
+  {
+    auto [server, client] =
+        resumable_handshake(server_ctx, client_ctx, &session);
+    EXPECT_TRUE(client->resumed());
+    EXPECT_TRUE(server->resumed());
+    ASSERT_TRUE(server->ticket_appdata().has_value());
+    EXPECT_EQ(*server->ticket_appdata(), "verified-identity-blob");
+
+    // The resumed channel still moves data both ways.
+    client->send("again");
+    EXPECT_EQ(server->receive(), "again");
+    server->send("ok");
+    EXPECT_EQ(client->receive(), "ok");
+  }
+}
+
+TEST(TlsChannelResumption, UnarmedConnectionYieldsNoResumableSession) {
+  // Until the application arms a ticket, the server context must not leak
+  // one — a client of an unverified connection cannot resume.
+  const auto server_cred = make_user("tls-noarm-server");
+  const auto client_cred = make_user("tls-noarm-client");
+  SessionResumption resumption;
+  resumption.enabled = true;
+  const TlsContext server_ctx =
+      TlsContext::make(server_cred, PeerAuth::kRequired, resumption);
+  const TlsContext client_ctx = TlsContext::make(client_cred);
+
+  auto [server, client] = resumable_handshake(server_ctx, client_ctx);
+  server->send("no ticket here");
+  EXPECT_EQ(client->receive(), "no ticket here");
+  EXPECT_FALSE(client->session().valid());
+}
+
+TEST(TlsChannelResumption, DisabledContextNeverResumes) {
+  const auto server_cred = make_user("tls-nores-server");
+  const auto client_cred = make_user("tls-nores-client");
+  const TlsContext server_ctx = TlsContext::make(server_cred);
+  const TlsContext client_ctx = TlsContext::make(client_cred);
+
+  auto [server, client] = resumable_handshake(server_ctx, client_ctx);
+  server->arm_session_ticket("ignored");  // no-op without resumption
+  server->send("x");
+  EXPECT_EQ(client->receive(), "x");
+  EXPECT_FALSE(client->session().valid());
+}
+
 TEST(TlsChannel, FramedOversizeRejected) {
   const auto server_cred = make_user("tls-oversize-server");
   const auto client_cred = make_user("tls-oversize-client");

@@ -17,10 +17,20 @@
 //   request_timeout_ms    <ms>     # per-request idle deadline (0 = off)
 //   max_connections       <n>      # in-flight connection cap (0 = off)
 //   worker_threads        <n>
+//
+// Hot-path tuning (keypair pool / TLS resumption / store cache):
+//   delegation_key_type   rsa|ec   # server-side delegation keys (PUT)
+//   delegation_key_bits   <n>      # RSA modulus bits (ignored for ec)
+//   keygen_pool_size      <n>      # pre-generated keys kept ready (0 = off)
+//   keygen_pool_refill_threads <n> # background keygen workers
+//   tls_session_resumption 0|1     # abbreviated handshakes for repeat clients
+//   tls_session_timeout_s <s>      # session ticket lifetime
+//   store_cache_shards    <n>      # read-cache lock shards (0 = no cache)
 #include <csignal>
 
 #include "common/config.hpp"
 #include "common/logging.hpp"
+#include "repository/cached_store.hpp"
 #include "server/myproxy_server.hpp"
 #include "tool_util.hpp"
 
@@ -61,6 +71,12 @@ void serve(const tools::Args& args) {
   } else {
     store = std::make_unique<repository::MemoryCredentialStore>();
   }
+  const auto cache_shards =
+      static_cast<std::size_t>(config.get_int_or("store_cache_shards", 8));
+  if (cache_shards > 0) {
+    store = std::make_unique<repository::CachedCredentialStore>(
+        std::move(store), cache_shards);
+  }
   auto repository = std::make_shared<repository::Repository>(
       std::move(store), std::move(policy));
 
@@ -77,6 +93,28 @@ void serve(const tools::Args& args) {
   server_config.max_connections = static_cast<std::size_t>(config.get_int_or(
       "max_connections",
       static_cast<std::int64_t>(server_config.max_connections)));
+  const std::string key_type = config.get_or("delegation_key_type", "ec");
+  if (key_type == "rsa") {
+    server_config.delegation_key_spec = crypto::KeySpec::rsa(
+        static_cast<unsigned>(config.get_int_or("delegation_key_bits", 2048)));
+  } else if (key_type == "ec") {
+    server_config.delegation_key_spec = crypto::KeySpec::ec();
+  } else {
+    throw Error(ErrorCode::kConfig,
+                "delegation_key_type must be 'rsa' or 'ec'");
+  }
+  server_config.keygen_pool_size = static_cast<std::size_t>(config.get_int_or(
+      "keygen_pool_size",
+      static_cast<std::int64_t>(server_config.keygen_pool_size)));
+  server_config.keygen_pool_refill_threads =
+      static_cast<std::size_t>(config.get_int_or(
+          "keygen_pool_refill_threads",
+          static_cast<std::int64_t>(server_config.keygen_pool_refill_threads)));
+  server_config.tls_session_resumption =
+      config.get_int_or("tls_session_resumption",
+                        server_config.tls_session_resumption ? 1 : 0) != 0;
+  server_config.tls_session_timeout = Seconds(config.get_int_or(
+      "tls_session_timeout_s", server_config.tls_session_timeout.count()));
   for (const auto& pattern : config.get_all("accepted_credentials")) {
     server_config.accepted_credentials.add(pattern);
   }
