@@ -9,10 +9,19 @@
 //   BM_Repo_StoreAmongN/<n>    — store cost at population n
 //   BM_Repo_SweepExpired/<n>   — expiry sweep over n records (half expired)
 //   BM_Repo_WalletSelect/<n>   — §6.2 task selection across an n-slot wallet
-// Expected shape: open/store stay O(log n) (keyed store), the sweep is O(n)
-// — cheap enough to run periodically, which is what keeps the §5.1 "stolen
-// records expire" argument operational.
+//   BM_FlatStore_ListAmongN / BM_ShardedStore_ListAmongN — the on-disk
+//     stores: the flat layout re-reads the whole directory per list, the
+//     sharded store answers from its metadata index
+//   BM_FlatStore_SweepAmongN / BM_ShardedStore_SweepAmongN — same contrast
+//     for the expiry sweep (10% of the population expired)
+// Expected shape: open/store stay O(log n) (keyed store); the flat file
+// series grow linearly with n while the sharded/indexed series track the
+// per-user / expired count only. The 100k-record point and the concurrent
+// comparison live in bench_store_scale (STORE_SCALE).
+#include <filesystem>
+
 #include "bench_util.hpp"
+#include "crypto/random.hpp"
 
 namespace {
 
@@ -141,6 +150,104 @@ BENCHMARK(BM_Repo_WalletSelect)
     ->Arg(2)
     ->Arg(8)
     ->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+
+// --- Flat vs sharded file store --------------------------------------------
+
+repository::CredentialRecord store_record(std::int64_t i, Seconds ttl) {
+  repository::CredentialRecord record;
+  record.username = "user-" + std::to_string(i);
+  record.name = "";
+  record.owner_dn = "/O=Grid/CN=bench";
+  record.blob.assign(256, 0x42);
+  record.created_at = now();
+  record.not_after = now() + ttl;
+  return record;
+}
+
+/// Temp directory with `n` records in `store` (records for distinct users).
+std::filesystem::path fill_store(repository::CredentialStore& store,
+                                 std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    store.put(store_record(i, Seconds(24 * 3600)));
+  }
+  return {};
+}
+
+template <typename StoreT>
+void list_among_n(benchmark::State& state) {
+  quiet_logs();
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("myproxy-bench-life-" + crypto::random_hex(6));
+  {
+    StoreT store(dir);
+    fill_store(store, state.range(0));
+    const std::string target =
+        "user-" + std::to_string(state.range(0) / 2);
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(store.list(target));
+    }
+  }
+  std::filesystem::remove_all(dir);
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_FlatStore_ListAmongN(benchmark::State& state) {
+  list_among_n<repository::FlatFileCredentialStore>(state);
+}
+BENCHMARK(BM_FlatStore_ListAmongN)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ShardedStore_ListAmongN(benchmark::State& state) {
+  list_among_n<repository::FileCredentialStore>(state);
+}
+BENCHMARK(BM_ShardedStore_ListAmongN)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+template <typename StoreT>
+void sweep_among_n(benchmark::State& state) {
+  quiet_logs();
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("myproxy-bench-life-" + crypto::random_hex(6));
+  const std::int64_t expired = std::max<std::int64_t>(state.range(0) / 10, 1);
+  {
+    StoreT store(dir);
+    fill_store(store, state.range(0));
+    for (auto _ : state) {
+      state.PauseTiming();
+      for (std::int64_t i = 0; i < expired; ++i) {
+        store.put(store_record(1000000 + i, Seconds(-10)));
+      }
+      state.ResumeTiming();
+      benchmark::DoNotOptimize(store.sweep_expired());
+    }
+  }
+  std::filesystem::remove_all(dir);
+  state.SetItemsProcessed(state.iterations() * expired);
+}
+
+void BM_FlatStore_SweepAmongN(benchmark::State& state) {
+  sweep_among_n<repository::FlatFileCredentialStore>(state);
+}
+BENCHMARK(BM_FlatStore_SweepAmongN)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ShardedStore_SweepAmongN(benchmark::State& state) {
+  sweep_among_n<repository::FileCredentialStore>(state);
+}
+BENCHMARK(BM_ShardedStore_SweepAmongN)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
     ->Unit(benchmark::kMicrosecond);
 
 }  // namespace

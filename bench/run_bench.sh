@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Build Release, run the Figure 2 retrieval benchmarks, and record the
-# result as BENCH_fig2_get.json at the repo root.
+# Build Release, run the Figure 2 retrieval benchmarks and the store-scale
+# benchmark, and record BENCH_fig2_get.json and BENCH_store_scale.json at
+# the repo root.
 #
 # Usage: bench/run_bench.sh [--quick]
-#   --quick  fewer iterations and no latency gate (the ctest smoke uses
-#            the same mode); full runs enforce the >=2x p50 gate.
+#   --quick  fewer iterations/records and no latency gates (the ctest
+#            smokes use the same mode); full runs enforce the >=2x p50
+#            retrieval gate and the store-scale speedup/sublinearity gates.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -18,7 +20,7 @@ fi
 
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${build_dir}" -j "$(nproc)" \
-  --target bench_fig2_get bench_hotpath
+  --target bench_fig2_get bench_hotpath bench_store_scale
 
 # Google-benchmark series (baseline vs fast path per key spec), embedded
 # verbatim into the final JSON by bench_hotpath.
@@ -33,3 +35,8 @@ trap 'rm -f "${fig2_json}"' EXIT
   --fig2-json "${fig2_json}"
 
 echo "Recorded ${repo_root}/BENCH_fig2_get.json"
+
+"${build_dir}/bench/bench_store_scale" "${mode_flags[@]}" \
+  --out "${repo_root}/BENCH_store_scale.json"
+
+echo "Recorded ${repo_root}/BENCH_store_scale.json"

@@ -8,19 +8,6 @@
 
 namespace myproxy::repository {
 
-namespace {
-
-std::string record_key(std::string_view username, std::string_view name) {
-  std::string key;
-  key.reserve(username.size() + 1 + name.size());
-  key.append(username);
-  key.push_back('\x1e');
-  key.append(name);
-  return key;
-}
-
-}  // namespace
-
 CachedCredentialStore::CachedCredentialStore(
     std::unique_ptr<CredentialStore> backing, std::size_t shards,
     std::size_t max_entries_per_shard)
@@ -70,7 +57,7 @@ void CachedCredentialStore::put(const CredentialRecord& record) {
 
 std::optional<CredentialRecord> CachedCredentialStore::get(
     std::string_view username, std::string_view name) const {
-  const std::string key = record_key(username, name);
+  const std::string key = CredentialRecord::make_key(username, name);
   Shard& shard = shard_for(key);
   const std::scoped_lock lock(shard.mutex);
   const auto it = shard.entries.find(key);
@@ -95,7 +82,7 @@ std::optional<CredentialRecord> CachedCredentialStore::get(
 
 bool CachedCredentialStore::remove(std::string_view username,
                                    std::string_view name) {
-  const std::string key = record_key(username, name);
+  const std::string key = CredentialRecord::make_key(username, name);
   Shard& shard = shard_for(key);
   const std::scoped_lock lock(shard.mutex);
   const bool removed = backing_->remove(username, name);

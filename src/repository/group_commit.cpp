@@ -1,0 +1,78 @@
+#include "repository/group_commit.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+
+namespace myproxy::repository {
+
+void GroupCommitter::sync(const std::vector<int>& fds, bool data_only) {
+  std::unique_lock lock(mutex_);
+  const std::uint64_t ticket = next_ticket_++;
+  ++commits_;
+  queue_.reserve(queue_.size() + fds.size());
+  for (const int fd : fds) queue_.push_back({fd, data_only});
+
+  while (flushed_ticket_ < ticket) {
+    if (!leader_active_) {
+      // Become the leader: flush everything enqueued so far as one round.
+      leader_active_ = true;
+      std::vector<Pending> batch;
+      batch.swap(queue_);
+      const std::uint64_t batch_high = next_ticket_ - 1;
+      lock.unlock();
+
+      // Concurrent writers to one shard enqueue the same directory fd many
+      // times; flush it once.
+      std::sort(batch.begin(), batch.end(),
+                [](const Pending& a, const Pending& b) { return a.fd < b.fd; });
+      std::string error;
+      int last_fd = -1;
+      for (const Pending& pending : batch) {
+        if (pending.fd == last_fd) continue;
+        last_fd = pending.fd;
+        const int rc = pending.data_only ? ::fdatasync(pending.fd)
+                                         : ::fsync(pending.fd);
+        if (rc != 0 && error.empty()) {
+          error = fmt::format("group commit {} failed: {}",
+                              pending.data_only ? "fdatasync" : "fsync",
+                              std::strerror(errno));
+        }
+      }
+
+      lock.lock();
+      leader_active_ = false;
+      ++rounds_;
+      flushed_ticket_ = std::max(flushed_ticket_, batch_high);
+      if (!error.empty()) {
+        // Every writer the round covered must see the failure: none of
+        // their data is known durable.
+        error_ticket_ = std::max(error_ticket_, batch_high);
+        error_ = error;
+      }
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock);
+    }
+  }
+  if (ticket <= error_ticket_) {
+    throw IoError(error_);
+  }
+}
+
+std::uint64_t GroupCommitter::rounds() const {
+  const std::scoped_lock lock(mutex_);
+  return rounds_;
+}
+
+std::uint64_t GroupCommitter::commits() const {
+  const std::scoped_lock lock(mutex_);
+  return commits_;
+}
+
+}  // namespace myproxy::repository

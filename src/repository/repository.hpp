@@ -153,6 +153,9 @@ class Repository {
   [[nodiscard]] const RepositoryPolicy& policy() const { return policy_; }
   [[nodiscard]] std::size_t size() const { return store_->size(); }
 
+  /// The backing store (stats sampling, admin tooling).
+  [[nodiscard]] const CredentialStore& store() const { return *store_; }
+
  private:
   [[nodiscard]] std::string aad_for(std::string_view username,
                                     std::string_view name) const;

@@ -1,6 +1,7 @@
 #include "server/myproxy_server.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/error.hpp"
 #include "common/format.hpp"
@@ -13,6 +14,26 @@ namespace myproxy::server {
 namespace {
 
 constexpr std::string_view kLogComponent = "server";
+
+/// Time `op` and add the elapsed microseconds to `counter` (store-latency
+/// instrumentation; the matching puts/gets counters are the denominators).
+template <typename Op>
+auto timed_us(std::atomic<std::uint64_t>& counter, Op&& op)
+    -> decltype(op()) {
+  const auto start = std::chrono::steady_clock::now();
+  struct Charge {
+    std::atomic<std::uint64_t>& counter;
+    std::chrono::steady_clock::time_point start;
+    ~Charge() {
+      counter.fetch_add(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count(),
+          std::memory_order_relaxed);
+    }
+  } charge{counter, start};
+  return op();
+}
 
 using protocol::Command;
 using protocol::Request;
@@ -114,6 +135,10 @@ void MyProxyServer::start() {
       while (!stop_cv_.wait_for(lock, config_.sweep_interval,
                                 [this] { return stopping_.load(); })) {
         const std::size_t swept = repository_->sweep_expired();
+        stats_.sweeps.fetch_add(1, std::memory_order_relaxed);
+        stats_.records_swept.fetch_add(swept, std::memory_order_relaxed);
+        stats_.store_records.store(repository_->size(),
+                                   std::memory_order_relaxed);
         if (swept > 0) {
           log::info(kLogComponent, "expiry sweep removed {} record(s)",
                     swept);
@@ -419,8 +444,10 @@ void MyProxyServer::handle_put(net::Channel& channel, const Request& request,
     // overloading, so a fixed generous chain is armed.
     options.otp_words = 1000;
   }
-  repository_->store(request.username, request.passphrase,
-                     peer.identity.str(), delegated, options);
+  timed_us(stats_.put_store_us, [&] {
+    repository_->store(request.username, request.passphrase,
+                       peer.identity.str(), delegated, options);
+  });
   stats_.puts.fetch_add(1, std::memory_order_relaxed);
   channel.send(Response::make_ok().serialize());
 }
@@ -441,9 +468,11 @@ void MyProxyServer::handle_get(net::Channel& channel, const Request& request,
   }
   // Authenticate the *user* (pass phrase or OTP) on top of the already-
   // authenticated *client* (§5.1: both are required).
-  gsi::Credential stored = repository_->open(
-      request.username, request.passphrase, request.credential_name,
-      request.auth_mode == protocol::AuthMode::kOtp);
+  gsi::Credential stored = timed_us(stats_.get_open_us, [&] {
+    return repository_->open(request.username, request.passphrase,
+                             request.credential_name,
+                             request.auth_mode == protocol::AuthMode::kOtp);
+  });
 
   stats_.gets.fetch_add(1, std::memory_order_relaxed);
   delegate_to_peer(channel, stored, *record, request.lifetime,
@@ -640,8 +669,10 @@ void MyProxyServer::handle_store(net::Channel& channel,
   options.task_tags = request.task;
   options.restriction = request.restriction;
   options.long_term = true;
-  repository_->store(request.username, request.passphrase,
-                     peer.identity.str(), credential, options);
+  timed_us(stats_.put_store_us, [&] {
+    repository_->store(request.username, request.passphrase,
+                       peer.identity.str(), credential, options);
+  });
   stats_.puts.fetch_add(1, std::memory_order_relaxed);
   channel.send(Response::make_ok().serialize());
 }
@@ -665,9 +696,11 @@ void MyProxyServer::handle_retrieve(net::Channel& channel,
   if (!(peer.identity.str() == record->owner_dn)) {
     throw AuthorizationError("only the owner may retrieve key material");
   }
-  gsi::Credential stored = repository_->open(
-      request.username, request.passphrase, request.credential_name,
-      request.auth_mode == protocol::AuthMode::kOtp);
+  gsi::Credential stored = timed_us(stats_.get_open_us, [&] {
+    return repository_->open(request.username, request.passphrase,
+                             request.credential_name,
+                             request.auth_mode == protocol::AuthMode::kOtp);
+  });
   channel.send(Response::make_ok().serialize());
   const SecureBuffer pem = stored.to_pem();
   channel.send(pem.view());

@@ -112,6 +112,13 @@ struct ServerStats {
   std::atomic<std::uint64_t> resumed_handshakes{0};  ///< ticket resumptions
   std::atomic<std::uint64_t> keypool_hits{0};    ///< delegation keys from pool
   std::atomic<std::uint64_t> keypool_misses{0};  ///< synchronous fallbacks
+
+  // Store instrumentation (sharded store + background sweep).
+  std::atomic<std::uint64_t> sweeps{0};          ///< background sweep runs
+  std::atomic<std::uint64_t> records_swept{0};   ///< expired records deleted
+  std::atomic<std::uint64_t> store_records{0};   ///< gauge: records after sweep
+  std::atomic<std::uint64_t> put_store_us{0};    ///< cumulative store-op µs in PUT/STORE
+  std::atomic<std::uint64_t> get_open_us{0};     ///< cumulative open-op µs in GET/RETRIEVE
 };
 
 class MyProxyServer {

@@ -6,9 +6,6 @@
 // Usage:
 //   myproxy-admin-query --storage /var/lib/myproxy [--user alice]
 //       [--expired]   # only expired records (candidates for sweeping)
-#include <set>
-
-#include "common/encoding.hpp"
 #include "repository/credential_store.hpp"
 #include "tool_util.hpp"
 
@@ -48,25 +45,9 @@ void query(const tools::Args& args) {
   const auto user_filter = args.get("--user");
 
   std::size_t shown = 0;
-  // Enumerate through list(): iterate the directory by peeking every
-  // record's username via the store's own listing of known users. The
-  // FileCredentialStore keys records by hex(username); walk the directory.
-  namespace fs = std::filesystem;
-  std::set<std::string> usernames;
-  for (const auto& entry : fs::directory_iterator(storage)) {
-    if (entry.path().extension() != ".cred") continue;
-    const std::string stem = entry.path().stem().string();
-    const std::size_t dash = stem.find('-');
-    if (dash == std::string::npos) continue;
-    try {
-      const auto raw = encoding::hex_decode(stem.substr(0, dash));
-      usernames.insert(encoding::to_string(raw));
-    } catch (const Error&) {
-      std::cerr << "skipping unparsable record file " << entry.path()
-                << '\n';
-    }
-  }
-  for (const auto& username : usernames) {
+  // Opening the store built its metadata index (migrating any legacy
+  // flat-layout records along the way); enumerate users straight from it.
+  for (const auto& username : store.usernames()) {
     if (user_filter.has_value() && *user_filter != username) continue;
     for (const auto& record : store.list(username)) {
       if (only_expired && !record.expired()) continue;

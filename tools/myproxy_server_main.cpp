@@ -26,6 +26,12 @@
 //   tls_session_resumption 0|1     # abbreviated handshakes for repeat clients
 //   tls_session_timeout_s <s>      # session ticket lifetime
 //   store_cache_shards    <n>      # read-cache lock shards (0 = no cache)
+//
+// Store scaling / durability (sharded file store):
+//   store_shards          <n>      # shard directory fanout (pinned at creation)
+//   store_sync_mode       none|fsync|group  # PUT commit durability
+//   store_scan_threads    <n>      # startup index-scan threads (0 = auto)
+//   sweep_interval_s      <s>      # background expiry sweep period (0 = off)
 #include <csignal>
 
 #include "common/config.hpp"
@@ -66,8 +72,20 @@ void serve(const tools::Args& args) {
 
   std::unique_ptr<repository::CredentialStore> store;
   if (args.has("--storage") || config.has("storage_dir")) {
+    repository::FileStoreOptions store_options;
+    store_options.shard_count = static_cast<std::size_t>(
+        config.get_int_or("store_shards",
+                          static_cast<std::int64_t>(
+                              store_options.shard_count)));
+    // Default to durable commits in the production tool; benches and tests
+    // opt out explicitly.
+    store_options.sync_mode = repository::sync_mode_from_string(
+        config.get_or("store_sync_mode", "fsync"));
+    store_options.scan_threads = static_cast<std::size_t>(
+        config.get_int_or("store_scan_threads", 0));
     store = std::make_unique<repository::FileCredentialStore>(
-        args.get_or("--storage", config.get_or("storage_dir", "")));
+        args.get_or("--storage", config.get_or("storage_dir", "")),
+        store_options);
   } else {
     store = std::make_unique<repository::MemoryCredentialStore>();
   }
@@ -115,6 +133,8 @@ void serve(const tools::Args& args) {
                         server_config.tls_session_resumption ? 1 : 0) != 0;
   server_config.tls_session_timeout = Seconds(config.get_int_or(
       "tls_session_timeout_s", server_config.tls_session_timeout.count()));
+  server_config.sweep_interval = Seconds(config.get_int_or(
+      "sweep_interval_s", server_config.sweep_interval.count()));
   for (const auto& pattern : config.get_all("accepted_credentials")) {
     server_config.accepted_credentials.add(pattern);
   }
@@ -144,9 +164,10 @@ void serve(const tools::Args& args) {
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
+  // Expiry cleanup runs on the server's background sweep thread
+  // (sweep_interval_s); this loop only waits for a shutdown signal.
   while (g_stop == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
-    repository->sweep_expired();
   }
   server.stop();
 }
