@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
-# Build Release, run the Figure 2 retrieval benchmarks and the store-scale
-# benchmark, and record BENCH_fig2_get.json and BENCH_store_scale.json at
-# the repo root.
+# Build Release, run the Figure 2 retrieval benchmarks, the store-scale
+# benchmark, and the replication benchmark, and record BENCH_fig2_get.json,
+# BENCH_store_scale.json, and BENCH_replication.json at the repo root.
 #
 # Usage: bench/run_bench.sh [--quick]
 #   --quick  fewer iterations/records and no latency gates (the ctest
 #            smokes use the same mode); full runs enforce the >=2x p50
-#            retrieval gate and the store-scale speedup/sublinearity gates.
+#            retrieval gate, the store-scale speedup/sublinearity gates,
+#            and the replication lag/failover gates.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -20,7 +21,7 @@ fi
 
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${build_dir}" -j "$(nproc)" \
-  --target bench_fig2_get bench_hotpath bench_store_scale
+  --target bench_fig2_get bench_hotpath bench_store_scale bench_replication
 
 # Google-benchmark series (baseline vs fast path per key spec), embedded
 # verbatim into the final JSON by bench_hotpath.
@@ -40,3 +41,8 @@ echo "Recorded ${repo_root}/BENCH_fig2_get.json"
   --out "${repo_root}/BENCH_store_scale.json"
 
 echo "Recorded ${repo_root}/BENCH_store_scale.json"
+
+"${build_dir}/bench/bench_replication" "${mode_flags[@]}" \
+  --out "${repo_root}/BENCH_replication.json"
+
+echo "Recorded ${repo_root}/BENCH_replication.json"

@@ -34,19 +34,71 @@ std::int64_t field_int(const Response& response, const std::string& key) {
 MyProxyClient::MyProxyClient(gsi::Credential credential,
                              pki::TrustStore trust_store, std::uint16_t port,
                              RetryPolicy retry_policy)
+    : MyProxyClient(std::move(credential), std::move(trust_store),
+                    std::vector<std::uint16_t>{port}, retry_policy) {}
+
+MyProxyClient::MyProxyClient(gsi::Credential credential,
+                             pki::TrustStore trust_store,
+                             std::vector<std::uint16_t> ports,
+                             RetryPolicy retry_policy)
     : credential_(std::move(credential)),
       trust_store_(std::move(trust_store)),
       tls_context_(tls::TlsContext::make(credential_)),
-      port_(port),
+      ports_(std::move(ports)),
       retry_policy_(retry_policy),
-      jitter_rng_(std::random_device{}()) {}
+      jitter_rng_(std::random_device{}()) {
+  if (ports_.empty()) {
+    throw Error(ErrorCode::kConfig,
+                "MyProxyClient requires at least one endpoint");
+  }
+}
 
-std::unique_ptr<tls::TlsChannel> MyProxyClient::connect_once() {
-  const tls::TlsSession* resume =
-      session_resumption_ && cached_session_.valid() ? &cached_session_
-                                                     : nullptr;
+std::vector<std::uint16_t> MyProxyClient::candidates(OpKind kind) const {
+  if (kind == OpKind::kWrite) return {ports_.front()};
+  if (ports_.size() == 1) return ports_;
+  std::vector<std::uint16_t> order(ports_.begin() + 1, ports_.end());
+  order.push_back(ports_.front());
+  return order;
+}
+
+template <typename Fn>
+auto MyProxyClient::run_op(OpKind kind, Fn&& fn)
+    -> decltype(fn(std::uint16_t{})) {
+  const std::vector<std::uint16_t> order = candidates(kind);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const bool last = i + 1 == order.size();
+    try {
+      return fn(order[i]);
+    } catch (const ReplicaRedirect& e) {
+      // A read landed on a server that insists on the primary (e.g. an OTP
+      // retrieval). Fall through to the next endpoint — the primary is
+      // always last in a read order.
+      if (last) throw;
+      log::warn(kLogComponent, "endpoint {} redirected ({}); failing over",
+                order[i], e.what());
+    } catch (const IoError& e) {
+      // The endpoint is unreachable even after connect()'s own retries, or
+      // died mid-operation. Reads are side-effect free, so re-running the
+      // whole operation elsewhere is safe.
+      if (last) throw;
+      log::warn(kLogComponent, "endpoint {} failed ({}); failing over",
+                order[i], e.what());
+    }
+  }
+  throw IoError("no repository endpoint configured");  // unreachable
+}
+
+std::unique_ptr<tls::TlsChannel> MyProxyClient::connect_once(
+    std::uint16_t port) {
+  const tls::TlsSession* resume = nullptr;
+  if (session_resumption_) {
+    const auto it = cached_sessions_.find(port);
+    if (it != cached_sessions_.end() && it->second.valid()) {
+      resume = &it->second;
+    }
+  }
   auto channel = tls::TlsChannel::connect(
-      tls_context_, net::tcp_connect(port_, retry_policy_.connect_timeout),
+      tls_context_, net::tcp_connect(port, retry_policy_.connect_timeout),
       retry_policy_.io_timeout, resume);
   if (channel->resumed()) {
     // Abbreviated handshake. The server proved possession of the secret
@@ -83,12 +135,12 @@ Millis MyProxyClient::backoff_for_attempt(int attempt) {
   return Millis(std::max<std::int64_t>(0, std::llround(delay)));
 }
 
-std::unique_ptr<tls::TlsChannel> MyProxyClient::connect() {
+std::unique_ptr<tls::TlsChannel> MyProxyClient::connect(std::uint16_t port) {
   const int attempts = std::max(1, retry_policy_.max_attempts);
   std::string last_error;
   for (int attempt = 1; attempt <= attempts; ++attempt) {
     try {
-      return connect_once();
+      return connect_once(port);
     } catch (const IoError& e) {
       // Transient transport failure (connection refused, deadline expired,
       // handshake torn down). Verification/authentication failures are NOT
@@ -97,7 +149,7 @@ std::unique_ptr<tls::TlsChannel> MyProxyClient::connect() {
       last_error = e.what();
       // A stale cached session must not wedge every retry: fall back to a
       // full handshake on the next attempt.
-      cached_session_ = {};
+      cached_sessions_.erase(port);
       if (attempt == attempts) break;
       const Millis delay = backoff_for_attempt(attempt);
       log::warn(kLogComponent,
@@ -107,18 +159,19 @@ std::unique_ptr<tls::TlsChannel> MyProxyClient::connect() {
     }
   }
   throw IoError(fmt::format(
-      "could not reach repository on port {} after {} attempt(s): {}", port_,
+      "could not reach repository on port {} after {} attempt(s): {}", port,
       attempts, last_error));
 }
 
-void MyProxyClient::cache_session(tls::TlsChannel& channel) {
+void MyProxyClient::cache_session(std::uint16_t port,
+                                  tls::TlsChannel& channel) {
   if (!session_resumption_) return;
   // TLS 1.3 tickets ride with (or after) the server's first response, so by
   // the end of a successful operation the session is resumable. Keep the
   // previous session if this connection yielded no resumable one (e.g. a
   // resumed connection whose ticket is still good).
   tls::TlsSession session = channel.session();
-  if (session.valid()) cached_session_ = std::move(session);
+  if (session.valid()) cached_sessions_[port] = std::move(session);
 }
 
 gsi::DelegationRequest MyProxyClient::start_delegation(
@@ -134,9 +187,19 @@ Response MyProxyClient::transact(tls::TlsChannel& channel,
   channel.send(request.serialize());
   const Response response = Response::parse(channel.receive());
   if (!response.ok()) {
-    throw Error(ErrorCode::kProtocol,
-                fmt::format("server refused {}: {}",
-                            to_string(request.command), response.error));
+    const std::string message = fmt::format(
+        "server refused {}: {}", to_string(request.command), response.error);
+    const auto primary = response.fields.find("PRIMARY");
+    if (primary != response.fields.end()) {
+      std::uint16_t primary_port = 0;
+      try {
+        primary_port = static_cast<std::uint16_t>(std::stoul(primary->second));
+      } catch (const std::exception&) {
+        // Unparseable hint; the redirect message still tells the story.
+      }
+      throw ReplicaRedirect(primary_port, message);
+    }
+    throw Error(ErrorCode::kProtocol, message);
   }
   return response;
 }
@@ -145,212 +208,253 @@ void MyProxyClient::put(std::string_view username,
                         std::string_view pass_phrase,
                         const gsi::Credential& source,
                         const PutOptions& options) {
-  auto channel = connect();
-  Request request;
-  request.command = Command::kPut;
-  request.username = std::string(username);
-  request.passphrase = std::string(pass_phrase);
-  request.auth_mode =
-      options.use_otp ? AuthMode::kOtp : AuthMode::kPassphrase;
-  request.lifetime = options.max_delegation_lifetime;
-  request.credential_name = options.credential_name;
-  request.retriever_patterns = options.retriever_patterns;
-  request.renewer_patterns = options.renewer_patterns;
-  request.want_limited = options.always_limited;
-  request.restriction = options.restriction;
-  request.task = options.task_tags;
-  (void)transact(*channel, request);
+  run_op(OpKind::kWrite, [&](std::uint16_t port) {
+    auto channel = connect(port);
+    Request request;
+    request.command = Command::kPut;
+    request.username = std::string(username);
+    request.passphrase = std::string(pass_phrase);
+    request.auth_mode =
+        options.use_otp ? AuthMode::kOtp : AuthMode::kPassphrase;
+    request.lifetime = options.max_delegation_lifetime;
+    request.credential_name = options.credential_name;
+    request.retriever_patterns = options.retriever_patterns;
+    request.renewer_patterns = options.renewer_patterns;
+    request.want_limited = options.always_limited;
+    request.restriction = options.restriction;
+    request.task = options.task_tags;
+    (void)transact(*channel, request);
 
-  // Server sends its CSR; we sign a proxy of `source` for it (Figure 1).
-  const std::string csr_pem = channel->receive();
-  gsi::ProxyOptions proxy_options;
-  proxy_options.lifetime = options.stored_lifetime;
-  const std::string chain_pem =
-      gsi::delegate_credential(source, csr_pem, proxy_options);
-  channel->send(chain_pem);
+    // Server sends its CSR; we sign a proxy of `source` for it (Figure 1).
+    const std::string csr_pem = channel->receive();
+    gsi::ProxyOptions proxy_options;
+    proxy_options.lifetime = options.stored_lifetime;
+    const std::string chain_pem =
+        gsi::delegate_credential(source, csr_pem, proxy_options);
+    channel->send(chain_pem);
 
-  const Response final_response = Response::parse(channel->receive());
-  if (!final_response.ok()) {
-    throw Error(ErrorCode::kProtocol,
-                fmt::format("server refused stored credential: {}",
-                            final_response.error));
-  }
-  cache_session(*channel);
-  log::info(kLogComponent, "delegated credential to repository as '{}'",
-            username);
+    const Response final_response = Response::parse(channel->receive());
+    if (!final_response.ok()) {
+      throw Error(ErrorCode::kProtocol,
+                  fmt::format("server refused stored credential: {}",
+                              final_response.error));
+    }
+    cache_session(port, *channel);
+    log::info(kLogComponent, "delegated credential to repository as '{}'",
+              username);
+    return 0;
+  });
 }
 
 gsi::Credential MyProxyClient::get(std::string_view username,
                                    std::string_view pass_phrase,
                                    const GetOptions& options) {
-  auto channel = connect();
-  Request request;
-  request.command = Command::kGet;
-  request.username = std::string(username);
-  request.passphrase = std::string(pass_phrase);
-  request.auth_mode = options.otp ? AuthMode::kOtp : AuthMode::kPassphrase;
-  request.lifetime = options.lifetime;
-  request.credential_name = options.credential_name;
-  request.want_limited = options.want_limited;
-  (void)transact(*channel, request);
+  // An OTP retrieval consumes a chain word on the server — a write in
+  // disguise — and must reach the primary.
+  const OpKind kind = options.otp ? OpKind::kWrite : OpKind::kRead;
+  return run_op(kind, [&](std::uint16_t port) {
+    auto channel = connect(port);
+    Request request;
+    request.command = Command::kGet;
+    request.username = std::string(username);
+    request.passphrase = std::string(pass_phrase);
+    request.auth_mode = options.otp ? AuthMode::kOtp : AuthMode::kPassphrase;
+    request.lifetime = options.lifetime;
+    request.credential_name = options.credential_name;
+    request.want_limited = options.want_limited;
+    (void)transact(*channel, request);
 
-  // We are the delegation receiver (Figure 2): fresh key, CSR out, chain in.
-  gsi::DelegationRequest delegation = start_delegation(options.key_spec);
-  channel->send(delegation.csr_pem);
-  const std::string chain_pem = channel->receive();
-  gsi::Credential delegated =
-      gsi::complete_delegation(std::move(delegation.key), chain_pem);
-  cache_session(*channel);
-  log::info(kLogComponent, "received delegation for '{}' (expires {})",
-            username, format_utc(delegated.not_after()));
-  return delegated;
+    // We are the delegation receiver (Figure 2): fresh key, CSR out,
+    // chain in.
+    gsi::DelegationRequest delegation = start_delegation(options.key_spec);
+    channel->send(delegation.csr_pem);
+    const std::string chain_pem = channel->receive();
+    gsi::Credential delegated =
+        gsi::complete_delegation(std::move(delegation.key), chain_pem);
+    cache_session(port, *channel);
+    log::info(kLogComponent, "received delegation for '{}' (expires {})",
+              username, format_utc(delegated.not_after()));
+    return delegated;
+  });
 }
 
 gsi::Credential MyProxyClient::renew(std::string_view username,
                                      const GetOptions& options) {
-  auto channel = connect();
-  Request request;
-  request.command = Command::kRenew;
-  request.username = std::string(username);
-  request.lifetime = options.lifetime;
-  request.credential_name = options.credential_name;
-  request.want_limited = options.want_limited;
-  (void)transact(*channel, request);
+  return run_op(OpKind::kWrite, [&](std::uint16_t port) {
+    auto channel = connect(port);
+    Request request;
+    request.command = Command::kRenew;
+    request.username = std::string(username);
+    request.lifetime = options.lifetime;
+    request.credential_name = options.credential_name;
+    request.want_limited = options.want_limited;
+    (void)transact(*channel, request);
 
-  gsi::DelegationRequest delegation = start_delegation(options.key_spec);
-  channel->send(delegation.csr_pem);
-  const std::string chain_pem = channel->receive();
-  gsi::Credential delegated =
-      gsi::complete_delegation(std::move(delegation.key), chain_pem);
-  cache_session(*channel);
-  return delegated;
+    gsi::DelegationRequest delegation = start_delegation(options.key_spec);
+    channel->send(delegation.csr_pem);
+    const std::string chain_pem = channel->receive();
+    gsi::Credential delegated =
+        gsi::complete_delegation(std::move(delegation.key), chain_pem);
+    cache_session(port, *channel);
+    return delegated;
+  });
 }
 
 void MyProxyClient::destroy(std::string_view username,
                             std::string_view name) {
-  auto channel = connect();
-  Request request;
-  request.command = Command::kDestroy;
-  request.username = std::string(username);
-  request.credential_name = std::string(name);
-  (void)transact(*channel, request);
-  cache_session(*channel);
+  run_op(OpKind::kWrite, [&](std::uint16_t port) {
+    auto channel = connect(port);
+    Request request;
+    request.command = Command::kDestroy;
+    request.username = std::string(username);
+    request.credential_name = std::string(name);
+    (void)transact(*channel, request);
+    cache_session(port, *channel);
+    return 0;
+  });
 }
 
 StoredCredentialInfo MyProxyClient::info(std::string_view username,
                                          std::string_view name) {
-  auto channel = connect();
-  Request request;
-  request.command = Command::kInfo;
-  request.username = std::string(username);
-  request.credential_name = std::string(name);
-  const Response response = transact(*channel, request);
-  cache_session(*channel);
+  return run_op(OpKind::kRead, [&](std::uint16_t port) {
+    auto channel = connect(port);
+    Request request;
+    request.command = Command::kInfo;
+    request.username = std::string(username);
+    request.credential_name = std::string(name);
+    const Response response = transact(*channel, request);
+    cache_session(port, *channel);
 
-  StoredCredentialInfo out;
-  const auto owner = response.fields.find("OWNER");
-  if (owner != response.fields.end()) out.owner_dn = owner->second;
-  out.not_after = from_unix(field_int(response, "NOT_AFTER"));
-  out.created_at = from_unix(field_int(response, "CREATED_AT"));
-  out.max_delegation_lifetime = Seconds(field_int(response, "MAX_LIFETIME"));
-  const auto sealing = response.fields.find("SEALING");
-  if (sealing != response.fields.end()) out.sealing = sealing->second;
-  out.limited = response.fields.count("LIMITED") != 0;
-  const auto restriction = response.fields.find("RESTRICTION");
-  if (restriction != response.fields.end()) {
-    out.restriction = restriction->second;
-  }
-  const auto otp = response.fields.find("OTP_REMAINING");
-  if (otp != response.fields.end()) {
-    out.otp_remaining = static_cast<std::uint32_t>(std::stoul(otp->second));
-  }
-  return out;
+    StoredCredentialInfo out;
+    const auto owner = response.fields.find("OWNER");
+    if (owner != response.fields.end()) out.owner_dn = owner->second;
+    out.not_after = from_unix(field_int(response, "NOT_AFTER"));
+    out.created_at = from_unix(field_int(response, "CREATED_AT"));
+    out.max_delegation_lifetime =
+        Seconds(field_int(response, "MAX_LIFETIME"));
+    const auto sealing = response.fields.find("SEALING");
+    if (sealing != response.fields.end()) out.sealing = sealing->second;
+    out.limited = response.fields.count("LIMITED") != 0;
+    const auto restriction = response.fields.find("RESTRICTION");
+    if (restriction != response.fields.end()) {
+      out.restriction = restriction->second;
+    }
+    const auto otp = response.fields.find("OTP_REMAINING");
+    if (otp != response.fields.end()) {
+      out.otp_remaining =
+          static_cast<std::uint32_t>(std::stoul(otp->second));
+    }
+    return out;
+  });
 }
 
 std::vector<std::string> MyProxyClient::list(std::string_view username) {
-  auto channel = connect();
-  Request request;
-  request.command = Command::kList;
-  request.username = std::string(username);
-  const Response response = transact(*channel, request);
-  cache_session(*channel);
-  const auto names = response.fields.find("NAMES");
-  if (names == response.fields.end()) return {};
-  return strings::split(names->second, '\x1f');
+  return run_op(OpKind::kRead, [&](std::uint16_t port) {
+    auto channel = connect(port);
+    Request request;
+    request.command = Command::kList;
+    request.username = std::string(username);
+    const Response response = transact(*channel, request);
+    cache_session(port, *channel);
+    const auto names = response.fields.find("NAMES");
+    if (names == response.fields.end()) return std::vector<std::string>{};
+    return strings::split(names->second, '\x1f');
+  });
 }
 
 std::string MyProxyClient::select_for_task(std::string_view username,
                                            std::string_view task) {
-  auto channel = connect();
-  Request request;
-  request.command = Command::kList;
-  request.username = std::string(username);
-  request.task = std::string(task);
-  const Response response = transact(*channel, request);
-  cache_session(*channel);
-  const auto selected = response.fields.find("SELECTED");
-  if (selected == response.fields.end()) {
-    throw ProtocolError("server response missing SELECTED field");
-  }
-  return selected->second;
+  return run_op(OpKind::kRead, [&](std::uint16_t port) {
+    auto channel = connect(port);
+    Request request;
+    request.command = Command::kList;
+    request.username = std::string(username);
+    request.task = std::string(task);
+    const Response response = transact(*channel, request);
+    cache_session(port, *channel);
+    const auto selected = response.fields.find("SELECTED");
+    if (selected == response.fields.end()) {
+      throw ProtocolError("server response missing SELECTED field");
+    }
+    return selected->second;
+  });
 }
 
 void MyProxyClient::change_passphrase(std::string_view username,
                                       std::string_view old_phrase,
                                       std::string_view new_phrase,
                                       std::string_view name) {
-  auto channel = connect();
-  Request request;
-  request.command = Command::kChangePassphrase;
-  request.username = std::string(username);
-  request.passphrase = std::string(old_phrase);
-  request.new_passphrase = std::string(new_phrase);
-  request.credential_name = std::string(name);
-  (void)transact(*channel, request);
-  cache_session(*channel);
+  run_op(OpKind::kWrite, [&](std::uint16_t port) {
+    auto channel = connect(port);
+    Request request;
+    request.command = Command::kChangePassphrase;
+    request.username = std::string(username);
+    request.passphrase = std::string(old_phrase);
+    request.new_passphrase = std::string(new_phrase);
+    request.credential_name = std::string(name);
+    (void)transact(*channel, request);
+    cache_session(port, *channel);
+    return 0;
+  });
 }
 
 void MyProxyClient::store(std::string_view username,
                           std::string_view pass_phrase,
                           const gsi::Credential& credential,
                           const PutOptions& options) {
-  auto channel = connect();
-  Request request;
-  request.command = Command::kStore;
-  request.username = std::string(username);
-  request.passphrase = std::string(pass_phrase);
-  request.lifetime = options.max_delegation_lifetime;
-  request.credential_name = options.credential_name;
-  request.retriever_patterns = options.retriever_patterns;
-  request.renewer_patterns = options.renewer_patterns;
-  request.restriction = options.restriction;
-  request.task = options.task_tags;
-  (void)transact(*channel, request);
+  run_op(OpKind::kWrite, [&](std::uint16_t port) {
+    auto channel = connect(port);
+    Request request;
+    request.command = Command::kStore;
+    request.username = std::string(username);
+    request.passphrase = std::string(pass_phrase);
+    request.lifetime = options.max_delegation_lifetime;
+    request.credential_name = options.credential_name;
+    request.retriever_patterns = options.retriever_patterns;
+    request.renewer_patterns = options.renewer_patterns;
+    request.restriction = options.restriction;
+    request.task = options.task_tags;
+    (void)transact(*channel, request);
 
-  const SecureBuffer pem = credential.to_pem();
-  channel->send(pem.view());
-  const Response final_response = Response::parse(channel->receive());
-  if (!final_response.ok()) {
-    throw Error(ErrorCode::kProtocol,
-                fmt::format("server refused stored credential: {}",
-                            final_response.error));
-  }
-  cache_session(*channel);
+    const SecureBuffer pem = credential.to_pem();
+    channel->send(pem.view());
+    const Response final_response = Response::parse(channel->receive());
+    if (!final_response.ok()) {
+      throw Error(ErrorCode::kProtocol,
+                  fmt::format("server refused stored credential: {}",
+                              final_response.error));
+    }
+    cache_session(port, *channel);
+    return 0;
+  });
 }
 
 gsi::Credential MyProxyClient::retrieve(std::string_view username,
                                         std::string_view pass_phrase,
                                         std::string_view name) {
-  auto channel = connect();
-  Request request;
-  request.command = Command::kRetrieve;
-  request.username = std::string(username);
-  request.passphrase = std::string(pass_phrase);
-  request.credential_name = std::string(name);
-  (void)transact(*channel, request);
-  const std::string pem = channel->receive();
-  cache_session(*channel);
-  return gsi::Credential::from_pem(pem);
+  return run_op(OpKind::kRead, [&](std::uint16_t port) {
+    auto channel = connect(port);
+    Request request;
+    request.command = Command::kRetrieve;
+    request.username = std::string(username);
+    request.passphrase = std::string(pass_phrase);
+    request.credential_name = std::string(name);
+    (void)transact(*channel, request);
+    const std::string pem = channel->receive();
+    cache_session(port, *channel);
+    return gsi::Credential::from_pem(pem);
+  });
+}
+
+std::map<std::string, std::string> MyProxyClient::server_stats() {
+  return run_op(OpKind::kRead, [&](std::uint16_t port) {
+    auto channel = connect(port);
+    Request request;
+    request.command = Command::kStats;
+    const Response response = transact(*channel, request);
+    cache_session(port, *channel);
+    return response.fields;
+  });
 }
 
 }  // namespace myproxy::client

@@ -4,6 +4,13 @@
 // Every operation opens one mutually-authenticated TLS connection, performs
 // one protocol command, and closes — the original prototype's
 // one-command-per-connection model.
+//
+// Failover: the client accepts a list of endpoints (ports — the
+// reproduction runs single-host) where the first is the primary and the
+// rest are replicas. Writes go to the primary; reads prefer a replica
+// (spreading load off the primary) and fall back across the remaining
+// endpoints on transport failure, so a dead primary does not take reads
+// down with it.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +21,7 @@
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/error.hpp"
 #include "crypto/keypair_pool.hpp"
 #include "gsi/credential.hpp"
 #include "gsi/proxy.hpp"
@@ -89,6 +97,23 @@ struct StoredCredentialInfo {
   std::optional<std::uint32_t> otp_remaining;
 };
 
+/// A replica refused a write and named the primary. Thrown by write
+/// operations issued against a read-only replica; the failover wrapper
+/// moves on to the next endpoint, and callers that reach it directly can
+/// retry at primary_port.
+class ReplicaRedirect : public Error {
+ public:
+  ReplicaRedirect(std::uint16_t primary_port, const std::string& message)
+      : Error(ErrorCode::kPolicy, message), primary_port_(primary_port) {}
+
+  [[nodiscard]] std::uint16_t primary_port() const noexcept {
+    return primary_port_;
+  }
+
+ private:
+  std::uint16_t primary_port_;
+};
+
 class MyProxyClient {
  public:
   /// `credential`: this client's own Grid credential for the mutual TLS
@@ -98,6 +123,16 @@ class MyProxyClient {
   /// the repository").
   MyProxyClient(gsi::Credential credential, pki::TrustStore trust_store,
                 std::uint16_t port, RetryPolicy retry_policy = {});
+
+  /// Multi-endpoint form: `ports` lists the primary first, replicas after.
+  /// Operations fail over along the list (see run_op).
+  MyProxyClient(gsi::Credential credential, pki::TrustStore trust_store,
+                std::vector<std::uint16_t> ports,
+                RetryPolicy retry_policy = {});
+
+  [[nodiscard]] const std::vector<std::uint16_t>& ports() const {
+    return ports_;
+  }
 
   /// Adjust deadlines/retry after construction (tools wire CLI flags here).
   void set_retry_policy(RetryPolicy policy) {
@@ -114,7 +149,7 @@ class MyProxyClient {
   /// it verified at the original full handshake.
   void set_session_resumption(bool enabled) {
     session_resumption_ = enabled;
-    if (!enabled) cached_session_ = {};
+    if (!enabled) cached_sessions_.clear();
   }
 
   /// Pre-generated proxy keys for get()/renew() (the receiver-side keygen
@@ -178,6 +213,12 @@ class MyProxyClient {
                                          std::string_view pass_phrase,
                                          std::string_view name = {});
 
+  /// STATS command: the server's counter dump (myproxy-admin-query
+  /// --stats). Key/value pairs exactly as the server sent them. Routed
+  /// like a read, so on a multi-endpoint client it reports whichever
+  /// endpoint answered.
+  [[nodiscard]] std::map<std::string, std::string> server_stats();
+
   /// Identity of the repository server from the last connection (for
   /// logging / tests of mutual authentication).
   [[nodiscard]] const std::optional<pki::DistinguishedName>& server_identity()
@@ -186,24 +227,49 @@ class MyProxyClient {
   }
 
  private:
-  /// Open a connection, run the TLS handshake, authenticate the server.
-  /// Transient transport failures (refused, timed out, handshake broken)
-  /// are retried per retry_policy_; authentication failures are not.
-  [[nodiscard]] std::unique_ptr<tls::TlsChannel> connect();
+  /// Whether an operation mutates the repository — decides which endpoint
+  /// order run_op tries. OTP-authenticated reads count as writes (OTP
+  /// verification advances the chain on the server).
+  enum class OpKind { kRead, kWrite };
+
+  /// Endpoint order for `kind`. Writes go to the primary only — replicas
+  /// cannot accept them and there is no automatic promotion, so failing
+  /// over a write could at best replay it and at worst misreport its
+  /// outcome. Reads try replicas first with the primary as the last
+  /// resort.
+  [[nodiscard]] std::vector<std::uint16_t> candidates(OpKind kind) const;
+
+  /// Run `fn(port)` against each candidate endpoint until one succeeds.
+  /// Transport failures (IoError — endpoint dead or unreachable after
+  /// connect()'s own retries) and read-only refusals (ReplicaRedirect)
+  /// move to the next endpoint; everything else propagates unchanged.
+  template <typename Fn>
+  auto run_op(OpKind kind, Fn&& fn) -> decltype(fn(std::uint16_t{}));
+
+  /// Open a connection to `port`, run the TLS handshake, authenticate the
+  /// server. Transient transport failures (refused, timed out, handshake
+  /// broken) are retried per retry_policy_; authentication failures are
+  /// not.
+  [[nodiscard]] std::unique_ptr<tls::TlsChannel> connect(std::uint16_t port);
 
   /// One connection attempt with the policy's deadlines applied.
-  [[nodiscard]] std::unique_ptr<tls::TlsChannel> connect_once();
+  [[nodiscard]] std::unique_ptr<tls::TlsChannel> connect_once(
+      std::uint16_t port);
 
   /// Backoff duration before attempt number `attempt` (1-based).
   [[nodiscard]] Millis backoff_for_attempt(int attempt);
 
-  /// Send a request and insist on an OK first response.
+  /// Send a request and insist on an OK first response. A refusal carrying
+  /// a PRIMARY field (a replica redirecting a write) throws
+  /// ReplicaRedirect instead of a plain Error.
   [[nodiscard]] protocol::Response transact(tls::TlsChannel& channel,
                                             const protocol::Request& request);
 
-  /// Snapshot the channel's session for the next connect (call once the
-  /// operation has succeeded; by then the server's ticket has arrived).
-  void cache_session(tls::TlsChannel& channel);
+  /// Snapshot the channel's session for the next connect to `port` (call
+  /// once the operation has succeeded; by then the server's ticket has
+  /// arrived). Sessions are cached per endpoint — a ticket minted by the
+  /// primary means nothing to a replica.
+  void cache_session(std::uint16_t port, tls::TlsChannel& channel);
 
   /// Receiver-side delegation start: pooled key when available, else a
   /// synchronous generation for `spec`.
@@ -213,12 +279,12 @@ class MyProxyClient {
   gsi::Credential credential_;
   pki::TrustStore trust_store_;
   tls::TlsContext tls_context_;
-  std::uint16_t port_;
+  std::vector<std::uint16_t> ports_;  ///< primary first, replicas after
   RetryPolicy retry_policy_;
   std::mt19937 jitter_rng_;
   std::optional<pki::DistinguishedName> server_identity_;
   bool session_resumption_ = true;
-  tls::TlsSession cached_session_;
+  std::map<std::uint16_t, tls::TlsSession> cached_sessions_;
   std::shared_ptr<crypto::KeyPairPool> key_pool_;
   std::uint64_t resumed_connections_ = 0;
   std::uint64_t full_connections_ = 0;

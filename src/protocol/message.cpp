@@ -35,7 +35,7 @@ std::int64_t parse_int(std::string_view key, std::string_view value) {
 
 Command parse_command(std::string_view value) {
   const std::int64_t n = parse_int("COMMAND", value);
-  if (n < 0 || n > static_cast<std::int64_t>(Command::kRenew)) {
+  if (n < 0 || n > static_cast<std::int64_t>(Command::kStats)) {
     throw ProtocolError(fmt::format("unknown command code {}", n));
   }
   return static_cast<Command>(n);
@@ -63,6 +63,10 @@ std::string_view to_string(Command command) noexcept {
       return "LIST";
     case Command::kRenew:
       return "RENEW";
+    case Command::kReplicaSync:
+      return "REPLICA_SYNC";
+    case Command::kStats:
+      return "STATS";
   }
   return "?";
 }
@@ -103,6 +107,9 @@ std::string Request::serialize() const {
     append_field(out, "RESTRICTION", *restriction);
   }
   if (!task.empty()) append_field(out, "TASK", task);
+  if (command == Command::kReplicaSync) {
+    append_field(out, "SEQ", std::to_string(sequence));
+  }
   return out;
 }
 
@@ -158,6 +165,10 @@ Request Request::parse(std::string_view text) {
       request.restriction = std::string(value);
     } else if (key == "TASK") {
       request.task = value;
+    } else if (key == "SEQ") {
+      const std::int64_t seq = parse_int(key, value);
+      if (seq < 0) throw ProtocolError("negative sequence");
+      request.sequence = static_cast<std::uint64_t>(seq);
     } else {
       // Unknown keys are ignored for forward compatibility (§6.4 plans a
       // standardized protocol; old servers must tolerate new fields).

@@ -40,6 +40,8 @@ enum class Command {
   kRetrieve = 6,          ///< retrieve a stored long-term credential (§6.1)
   kList = 7,              ///< list wallet credentials (§6.2)
   kRenew = 8,             ///< refresh a job's proxy (§6.6, Condor-G support)
+  kReplicaSync = 9,       ///< replica requests a snapshot / journal stream
+  kStats = 10,            ///< dump server counters (admin tooling)
 };
 
 [[nodiscard]] std::string_view to_string(Command command) noexcept;
@@ -79,6 +81,9 @@ struct Request {
   /// LIST/wallet: task tag used for credential selection (§6.2), matched
   /// against stored credentials' task tags.
   std::string task;
+  /// REPLICA_SYNC: last journal sequence the replica has applied (0 = no
+  /// usable state; the primary answers with a snapshot).
+  std::uint64_t sequence = 0;
 
   [[nodiscard]] std::string serialize() const;
   static Request parse(std::string_view text);

@@ -52,6 +52,9 @@ class CachedCredentialStore final : public CredentialStore {
       std::string_view username) const override;
   [[nodiscard]] std::size_t size() const override;
   std::size_t sweep_expired() override;
+  [[nodiscard]] std::vector<std::string> usernames() const override {
+    return backing_->usernames();
+  }
 
   [[nodiscard]] Stats stats() const;
 

@@ -6,6 +6,7 @@
 #include <cerrno>
 #include <cstring>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <thread>
 
@@ -319,6 +320,17 @@ std::size_t MemoryCredentialStore::sweep_expired() {
   return swept;
 }
 
+std::vector<std::string> MemoryCredentialStore::usernames() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<std::string> out;
+  for (const auto& [key, record] : records_) {
+    if (out.empty() || out.back() != record.username) {
+      out.push_back(record.username);
+    }
+  }
+  return out;
+}
+
 // --- FlatFileCredentialStore ------------------------------------------------
 
 FlatFileCredentialStore::FlatFileCredentialStore(
@@ -449,6 +461,30 @@ std::size_t FlatFileCredentialStore::sweep_expired() {
     if (std::filesystem::remove(path, ec) && !ec) ++swept;
   }
   return swept;
+}
+
+std::vector<std::string> FlatFileCredentialStore::usernames() const {
+  const std::scoped_lock lock(mutex_);
+  std::set<std::string> unique;
+  try {
+    for (const auto& entry :
+         std::filesystem::directory_iterator(directory_)) {
+      if (entry.path().extension() != ".cred") continue;
+      const std::string file = entry.path().filename().string();
+      const std::size_t dash = file.find('-');
+      if (dash == std::string::npos) continue;
+      try {
+        unique.insert(
+            encoding::to_string(encoding::hex_decode(file.substr(0, dash))));
+      } catch (const Error&) {
+        // Foreign file name: not one of ours.
+      }
+    }
+  } catch (const std::filesystem::filesystem_error& e) {
+    throw IoError(fmt::format("cannot iterate storage directory {}: {}",
+                              directory_.string(), e.what()));
+  }
+  return {unique.begin(), unique.end()};
 }
 
 // --- FileCredentialStore ----------------------------------------------------

@@ -147,6 +147,11 @@ class CredentialStore {
 
   /// Delete expired records; returns how many were swept.
   virtual std::size_t sweep_expired() = 0;
+
+  /// Every username with at least one record, sorted. Used by admin tooling
+  /// and by replication (a bootstrapping replica wipes its store before
+  /// installing a snapshot).
+  [[nodiscard]] virtual std::vector<std::string> usernames() const = 0;
 };
 
 class MemoryCredentialStore final : public CredentialStore {
@@ -160,6 +165,7 @@ class MemoryCredentialStore final : public CredentialStore {
       std::string_view username) const override;
   [[nodiscard]] std::size_t size() const override;
   std::size_t sweep_expired() override;
+  [[nodiscard]] std::vector<std::string> usernames() const override;
 
  private:
   mutable std::mutex mutex_;
@@ -186,6 +192,7 @@ class FlatFileCredentialStore final : public CredentialStore {
       std::string_view username) const override;
   [[nodiscard]] std::size_t size() const override;
   std::size_t sweep_expired() override;
+  [[nodiscard]] std::vector<std::string> usernames() const override;
 
   [[nodiscard]] const std::filesystem::path& directory() const {
     return directory_;
@@ -262,7 +269,7 @@ class FileCredentialStore final : public CredentialStore {
   [[nodiscard]] SyncMode sync_mode() const { return sync_mode_; }
 
   /// Every username with at least one record, sorted (admin tooling).
-  [[nodiscard]] std::vector<std::string> usernames() const;
+  [[nodiscard]] std::vector<std::string> usernames() const override;
 
   /// What the startup scan found (tests, operator logging).
   struct ScanReport {

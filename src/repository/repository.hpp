@@ -156,6 +156,11 @@ class Repository {
   /// The backing store (stats sampling, admin tooling).
   [[nodiscard]] const CredentialStore& store() const { return *store_; }
 
+  /// Mutable store access for replication (a replica applies journal
+  /// entries and snapshot records directly, below the repository's
+  /// authentication layer — the records arrive already sealed).
+  [[nodiscard]] CredentialStore& store_mutable() { return *store_; }
+
  private:
   [[nodiscard]] std::string aad_for(std::string_view username,
                                     std::string_view name) const;

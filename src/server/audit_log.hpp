@@ -8,6 +8,8 @@
 #pragma once
 
 #include <deque>
+#include <filesystem>
+#include <fstream>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -37,11 +39,23 @@ struct AuditEvent {
   /// One-line export form: "<iso-time> <command> peer=<dn> user=<u>
   /// outcome=<o> detail=<d>".
   [[nodiscard]] std::string str() const;
+
+  /// One-line JSON object form (the file sink's record format).
+  [[nodiscard]] std::string json() const;
 };
 
 class AuditLog {
  public:
   explicit AuditLog(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  /// Mirror every recorded event to `path` as append-only JSONL, one JSON
+  /// object per line (audit_log_file config key). The ring keeps working as
+  /// before; the file is the durable export operators feed to their SIEM.
+  /// Throws IoError when the file cannot be opened.
+  void set_file(const std::filesystem::path& path);
+
+  /// Whether a file sink is attached.
+  [[nodiscard]] bool has_file() const;
 
   void record(AuditEvent event);
 
@@ -65,6 +79,7 @@ class AuditLog {
   std::size_t capacity_;
   mutable std::mutex mutex_;
   std::deque<AuditEvent> ring_;
+  std::ofstream file_;
 };
 
 }  // namespace myproxy::server

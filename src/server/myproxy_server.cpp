@@ -117,6 +117,33 @@ MyProxyServer::MyProxyServer(
 MyProxyServer::~MyProxyServer() { stop(); }
 
 void MyProxyServer::start() {
+  if (!config_.audit_log_file.empty()) {
+    audit_.set_file(config_.audit_log_file);
+  }
+  if (config_.replication_role == replication::ReplicationRole::kPrimary &&
+      config_.journal == nullptr) {
+    throw ConfigError("replication_role=primary requires a journal");
+  }
+  if (config_.replication_role == replication::ReplicationRole::kReplica) {
+    if (config_.replication_primary_port == 0) {
+      throw ConfigError(
+          "replication_role=replica requires replication_primary");
+    }
+    replication::ReplicaConfig replica_config;
+    replica_config.primary_port = config_.replication_primary_port;
+    replica_config.state_file = config_.replication_state_file;
+    replica_session_ = std::make_unique<replication::ReplicaSession>(
+        host_credential_, trust_store_, repository_->store_mutable(),
+        replica_config,
+        [this](std::string_view event, std::string_view detail) {
+          audit_.record({now(), std::string(event), "", "",
+                         event == "replica-disconnected"
+                             ? AuditOutcome::kError
+                             : AuditOutcome::kSuccess,
+                         std::string(detail)});
+        });
+    replica_session_->start();
+  }
   if (config_.keygen_pool_size > 0) {
     key_pool_ = std::make_unique<crypto::KeyPairPool>(
         config_.delegation_key_spec, config_.keygen_pool_size,
@@ -170,6 +197,7 @@ void MyProxyServer::stop() {
   if (sweep_thread_.joinable()) sweep_thread_.join();
   pool_.reset();  // drains and joins workers
   key_pool_.reset();  // after workers: handlers may still hold the pool
+  replica_session_.reset();  // after workers: STATS handlers read its stats
   if (listener_.has_value()) listener_->close();
   log::info(kLogComponent, "myproxy-server stopped");
 }
@@ -315,6 +343,24 @@ void MyProxyServer::serve_channel(net::Channel& channel,
   AuditEvent audit_event{now(), std::string(to_string(request.command)),
                          peer.identity.str(), request.username,
                          AuditOutcome::kSuccess, ""};
+
+  // Replica read-only enforcement: mutations are refused with a redirect
+  // carrying the primary's endpoint, so a failover-aware client retries
+  // there instead of treating this as a hard failure.
+  if (config_.replication_role == replication::ReplicationRole::kReplica &&
+      is_write_command(request)) {
+    stats_.repl_redirects.fetch_add(1, std::memory_order_relaxed);
+    Response redirect = Response::make_error(
+        "replica is read-only; retry this operation at the primary");
+    redirect.fields["PRIMARY"] =
+        std::to_string(config_.replication_primary_port);
+    audit_event.outcome = AuditOutcome::kError;
+    audit_event.detail = "redirected write to primary";
+    audit_.record(std::move(audit_event));
+    channel.send(redirect.serialize());
+    return;
+  }
+
   try {
     switch (request.command) {
       case Command::kPut:
@@ -343,6 +389,12 @@ void MyProxyServer::serve_channel(net::Channel& channel,
         break;
       case Command::kRetrieve:
         handle_retrieve(channel, request, peer);
+        break;
+      case Command::kReplicaSync:
+        handle_replica_sync(channel, request, peer);
+        break;
+      case Command::kStats:
+        handle_stats(channel, request, peer);
         break;
     }
     audit_.record(std::move(audit_event));
@@ -705,6 +757,200 @@ void MyProxyServer::handle_retrieve(net::Channel& channel,
   const SecureBuffer pem = stored.to_pem();
   channel.send(pem.view());
   stats_.gets.fetch_add(1, std::memory_order_relaxed);
+}
+
+// --- Replication (REPLICA_SYNC / STATS) --------------------------------------
+
+bool MyProxyServer::is_write_command(const Request& request) {
+  switch (request.command) {
+    case Command::kPut:
+    case Command::kStore:
+    case Command::kDestroy:
+    case Command::kChangePassphrase:
+      return true;
+    case Command::kRenew:
+      // Renewal reads a master-key-sealed record, and only the primary's
+      // master key can open it.
+      return true;
+    case Command::kGet:
+    case Command::kRetrieve:
+      // Verifying an OTP word advances the chain — a store write.
+      return request.auth_mode == protocol::AuthMode::kOtp;
+    case Command::kInfo:
+    case Command::kList:
+    case Command::kReplicaSync:
+    case Command::kStats:
+      return false;
+  }
+  return false;
+}
+
+void MyProxyServer::handle_replica_sync(net::Channel& channel,
+                                        const Request& request,
+                                        const pki::VerifiedIdentity& peer) {
+  if (config_.replication_role != replication::ReplicationRole::kPrimary ||
+      config_.journal == nullptr) {
+    throw PolicyError("this server is not a replication primary");
+  }
+  // A replica sees every record in the store, so REPLICA_SYNC has its own
+  // ACL rather than riding the retriever/renewer grants.
+  if (!config_.replica_acl.allows(peer.identity)) {
+    throw AuthorizationError(
+        fmt::format("'{}' is not in replica_acl", peer.identity.str()));
+  }
+  auto& journal = *config_.journal;
+
+  stats_.repl_replicas_connected.fetch_add(1, std::memory_order_relaxed);
+  struct Gauge {
+    std::atomic<std::uint64_t>& gauge;
+    ~Gauge() { gauge.fetch_sub(1, std::memory_order_relaxed); }
+  } gauge{stats_.repl_replicas_connected};
+
+  std::uint64_t replica_seq = request.sequence;
+  // The journal can tail the replica only from an offset it still covers;
+  // anything else — fresh replica, or an offset past/before the journal —
+  // needs a full snapshot. (sequence == 0 always snapshots: the store may
+  // hold records that predate the journal.)
+  const bool need_snapshot = replica_seq == 0 ||
+                             replica_seq + 1 < journal.first_sequence() ||
+                             replica_seq > journal.last_sequence();
+  if (need_snapshot) {
+    // Capture the sequence *before* reading the store: ReplicatedStore
+    // holds each username's stripe exclusively from journal append through
+    // store apply, and usernames()/list() take those stripes shared — so
+    // every operation with sequence <= snapshot_seq is visible to these
+    // reads. Concurrent newer operations may also leak in; the replica
+    // re-applies sequences above snapshot_seq, which converges.
+    const std::uint64_t snapshot_seq = journal.last_sequence();
+    std::vector<std::string> records;
+    const auto& store = repository_->store();
+    for (const auto& username : store.usernames()) {
+      for (const auto& record : store.list(username)) {
+        records.push_back(record.serialize());
+      }
+    }
+    Response response;
+    response.fields["MODE"] = "snapshot";
+    response.fields["SNAPSHOT_COUNT"] = std::to_string(records.size());
+    response.fields["SNAPSHOT_SEQ"] = std::to_string(snapshot_seq);
+    channel.send(response.serialize());
+    for (const auto& text : records) channel.send(text);
+    replica_seq = snapshot_seq;
+    stats_.repl_snapshots_served.fetch_add(1, std::memory_order_relaxed);
+    stats_.repl_snapshot_records.fetch_add(records.size(),
+                                           std::memory_order_relaxed);
+    audit_.record({now(), "REPLICA_SYNC", peer.identity.str(), "",
+                   AuditOutcome::kSuccess,
+                   fmt::format("snapshot served: {} record(s) through "
+                               "sequence {}",
+                               records.size(), snapshot_seq)});
+    log::info(kLogComponent,
+              "served snapshot to replica '{}': {} record(s), sequence {}",
+              peer.identity.str(), records.size(), snapshot_seq);
+  } else {
+    Response response;
+    response.fields["MODE"] = "tail";
+    channel.send(response.serialize());
+    audit_.record({now(), "REPLICA_SYNC", peer.identity.str(), "",
+                   AuditOutcome::kSuccess,
+                   fmt::format("replica connected at sequence {}",
+                               replica_seq)});
+  }
+
+  // Stream loop: ship batches as the journal grows, empty heartbeats about
+  // once a second otherwise. The replica acks each message; a silent or
+  // dead replica trips the request deadline and ends the stream.
+  bool was_lagging = false;
+  try {
+    while (!stopping_.load()) {
+      (void)journal.wait_for_entries(replica_seq, Millis(1000));
+      replication::Batch batch;
+      batch.entries =
+          journal.entries_after(replica_seq, config_.replication_batch);
+      batch.primary_last_sequence = journal.last_sequence();
+      channel.send(replication::encode_batch(batch));
+      const std::uint64_t acked =
+          replication::decode_ack(channel.receive());
+      replica_seq = std::max(replica_seq, acked);
+      stats_.repl_batches_shipped.fetch_add(1, std::memory_order_relaxed);
+      stats_.repl_ops_shipped.fetch_add(batch.entries.size(),
+                                        std::memory_order_relaxed);
+      stats_.repl_last_acked_seq.store(acked, std::memory_order_relaxed);
+
+      const std::uint64_t lag = journal.last_sequence() > acked
+                                    ? journal.last_sequence() - acked
+                                    : 0;
+      const bool lagging = lag > config_.replication_batch;
+      if (lagging && !was_lagging) {
+        audit_.record({now(), "REPLICA_SYNC", peer.identity.str(), "",
+                       AuditOutcome::kError,
+                       fmt::format("replica lagging: {} entries behind",
+                                   lag)});
+      }
+      was_lagging = lagging;
+    }
+  } catch (const IoError& e) {
+    // Replica went away (failover drill, crash, or network): end the
+    // stream quietly; it will reconnect and resume from its acked offset.
+    audit_.record({now(), "REPLICA_SYNC", peer.identity.str(), "",
+                   AuditOutcome::kError,
+                   fmt::format("replica stream ended: {}", e.what())});
+    log::info(kLogComponent, "replica '{}' stream ended: {}",
+              peer.identity.str(), e.what());
+  }
+}
+
+void MyProxyServer::handle_stats(net::Channel& channel, const Request&,
+                                 const pki::VerifiedIdentity& peer) {
+  if (!config_.authorized_retrievers.allows(peer.identity) &&
+      !config_.accepted_credentials.allows(peer.identity)) {
+    throw AuthorizationError("not authorized for STATS");
+  }
+  Response response;
+  const auto put = [&response](std::string_view key, std::uint64_t value) {
+    response.fields[std::string(key)] = std::to_string(value);
+  };
+  put("CONNECTIONS", stats_.connections.load());
+  put("PUTS", stats_.puts.load());
+  put("GETS", stats_.gets.load());
+  put("RENEWALS", stats_.renewals.load());
+  put("AUTH_FAILURES", stats_.auth_failures.load());
+  put("AUTHZ_FAILURES", stats_.authz_failures.load());
+  put("PROTOCOL_ERRORS", stats_.protocol_errors.load());
+  put("TIMEOUTS", stats_.timeouts.load());
+  put("SHED_CONNECTIONS", stats_.shed_connections.load());
+  put("FULL_HANDSHAKES", stats_.full_handshakes.load());
+  put("RESUMED_HANDSHAKES", stats_.resumed_handshakes.load());
+  put("KEYPOOL_HITS", stats_.keypool_hits.load());
+  put("KEYPOOL_MISSES", stats_.keypool_misses.load());
+  put("SWEEPS", stats_.sweeps.load());
+  put("RECORDS_SWEPT", stats_.records_swept.load());
+  put("STORE_RECORDS", repository_->size());
+  put("PUT_STORE_US", stats_.put_store_us.load());
+  put("GET_OPEN_US", stats_.get_open_us.load());
+
+  response.fields["REPL_ROLE"] =
+      std::string(replication::to_string(config_.replication_role));
+  if (config_.journal != nullptr) {
+    put("REPL_JOURNAL_SEQ", config_.journal->last_sequence());
+    put("REPL_LAST_ACKED_SEQ", stats_.repl_last_acked_seq.load());
+    put("REPL_REPLICAS_CONNECTED", stats_.repl_replicas_connected.load());
+    put("REPL_SNAPSHOTS_SERVED", stats_.repl_snapshots_served.load());
+    put("REPL_SNAPSHOT_RECORDS", stats_.repl_snapshot_records.load());
+    put("REPL_BATCHES_SHIPPED", stats_.repl_batches_shipped.load());
+    put("REPL_OPS_SHIPPED", stats_.repl_ops_shipped.load());
+  }
+  if (replica_session_ != nullptr) {
+    const auto& rs = replica_session_->stats();
+    put("REPL_LAST_APPLIED_SEQ", rs.last_applied_sequence.load());
+    put("REPL_LAG", rs.lag.load());
+    put("REPL_CONNECTED", rs.connected.load() ? 1 : 0);
+    put("REPL_SNAPSHOTS_INSTALLED", rs.snapshots_installed.load());
+    put("REPL_OPS_APPLIED", rs.ops_applied.load());
+    put("REPL_RECONNECTS", rs.reconnects.load());
+  }
+  put("REPL_REDIRECTS", stats_.repl_redirects.load());
+  channel.send(response.serialize());
 }
 
 }  // namespace myproxy::server

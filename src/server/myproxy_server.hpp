@@ -27,6 +27,9 @@
 #include "net/socket.hpp"
 #include "pki/trust_store.hpp"
 #include "protocol/message.hpp"
+#include "replication/journal.hpp"
+#include "replication/replica_session.hpp"
+#include "replication/wire.hpp"
 #include "repository/repository.hpp"
 #include "tls/tls_channel.hpp"
 
@@ -93,6 +96,36 @@ struct ServerConfig {
   /// Ticket lifetime; the sealed identity additionally expires with the
   /// client credential that authenticated the original connection.
   Seconds tls_session_timeout{3600};
+
+  // --- Replication (primary–replica failover) -------------------------------
+
+  /// This server's role. A primary journals writes and serves REPLICA_SYNC
+  /// streams; a replica tails a primary, serves reads, and redirects writes.
+  replication::ReplicationRole replication_role =
+      replication::ReplicationRole::kStandalone;
+
+  /// Primary only: the journal the repository's store writes ahead to. The
+  /// caller wires the same journal into a ReplicatedStore wrapped around
+  /// the repository's store (see myproxy_server_main / the tests).
+  std::shared_ptr<replication::ReplicationJournal> journal;
+
+  /// Primary only: DNs allowed to open REPLICA_SYNC streams. Deliberately
+  /// separate from the retriever/renewer ACLs — a replica sees every
+  /// record, so membership is the strongest grant the server can make.
+  gsi::AccessControlList replica_acl;
+
+  /// Primary only: max journal entries shipped per replication batch.
+  std::size_t replication_batch = 64;
+
+  /// Replica only: port of the primary (single-host deployment).
+  std::uint16_t replication_primary_port = 0;
+
+  /// Replica only: where the last-applied journal sequence is persisted.
+  std::filesystem::path replication_state_file;
+
+  /// Append-only JSONL audit sink; empty disables the file (the in-memory
+  /// ring always works).
+  std::filesystem::path audit_log_file;
 };
 
 /// Operation counters for tests, benchmarks, and the audit story.
@@ -119,6 +152,16 @@ struct ServerStats {
   std::atomic<std::uint64_t> store_records{0};   ///< gauge: records after sweep
   std::atomic<std::uint64_t> put_store_us{0};    ///< cumulative store-op µs in PUT/STORE
   std::atomic<std::uint64_t> get_open_us{0};     ///< cumulative open-op µs in GET/RETRIEVE
+
+  // Replication instrumentation (primary side; the replica side lives in
+  // ReplicaSession::stats and is merged into the STATS response).
+  std::atomic<std::uint64_t> repl_snapshots_served{0};
+  std::atomic<std::uint64_t> repl_snapshot_records{0};
+  std::atomic<std::uint64_t> repl_batches_shipped{0};
+  std::atomic<std::uint64_t> repl_ops_shipped{0};
+  std::atomic<std::uint64_t> repl_last_acked_seq{0};   ///< newest replica ack
+  std::atomic<std::uint64_t> repl_replicas_connected{0};  ///< gauge
+  std::atomic<std::uint64_t> repl_redirects{0};  ///< writes refused on replica
 };
 
 class MyProxyServer {
@@ -161,6 +204,13 @@ class MyProxyServer {
     return key_pool_.get();
   }
 
+  /// Replica-side replication engine (null unless replication_role ==
+  /// kReplica and the server is started). Tests and the failover bench use
+  /// wait_for_sequence / stats through this.
+  [[nodiscard]] const replication::ReplicaSession* replica_session() const {
+    return replica_session_.get();
+  }
+
  private:
   void accept_loop();
   void handle_connection(net::Socket socket);
@@ -201,6 +251,16 @@ class MyProxyServer {
   void handle_retrieve(net::Channel& channel,
                        const protocol::Request& request,
                        const pki::VerifiedIdentity& peer);
+  void handle_replica_sync(net::Channel& channel,
+                           const protocol::Request& request,
+                           const pki::VerifiedIdentity& peer);
+  void handle_stats(net::Channel& channel, const protocol::Request& request,
+                    const pki::VerifiedIdentity& peer);
+
+  /// True when `request` mutates the repository (a replica must redirect
+  /// it to the primary). OTP-authenticated reads count: verifying an OTP
+  /// word advances the chain, which is a store write.
+  [[nodiscard]] static bool is_write_command(const protocol::Request& request);
 
   /// Shared GET/RENEW tail: delegate `credential` to the peer over the
   /// channel under the stored record's restrictions.
@@ -220,6 +280,7 @@ class MyProxyServer {
   tls::TlsContext tls_context_;
 
   std::unique_ptr<crypto::KeyPairPool> key_pool_;
+  std::unique_ptr<replication::ReplicaSession> replica_session_;
   std::optional<net::TcpListener> listener_;
   std::uint16_t port_ = 0;
   std::thread accept_thread_;

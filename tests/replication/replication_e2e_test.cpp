@@ -1,0 +1,343 @@
+// End-to-end replication tests: a real primary and replica myproxy-server
+// pair over TCP + mutual TLS, exercising snapshot bootstrap, live journal
+// tailing, read-only enforcement with redirect, client failover, and the
+// replica's crash-consistency contract around its state file.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+
+#include "client/myproxy_client.hpp"
+#include "common/error.hpp"
+#include "gsi/gsi_fixtures.hpp"
+#include "gsi/proxy.hpp"
+#include "replication/replicated_store.hpp"
+#include "server/myproxy_server.hpp"
+
+namespace myproxy {
+namespace {
+
+using client::MyProxyClient;
+using client::PutOptions;
+using client::ReplicaRedirect;
+using gsi::testing::make_trust_store;
+using gsi::testing::make_user;
+using gsi::testing::test_ca;
+using server::MyProxyServer;
+using server::ServerConfig;
+
+constexpr std::string_view kPhrase = "correct horse battery";
+constexpr std::string_view kReplicaDn =
+    "/C=US/O=Grid/OU=Services/CN=myproxy-replica.grid.test";
+
+gsi::Credential make_service(const std::string& dn_text) {
+  const auto dn = pki::DistinguishedName::parse(dn_text);
+  auto key = crypto::KeyPair::generate(crypto::KeySpec::ec());
+  auto cert = test_ca().issue(dn, key, Seconds(365L * 24 * 3600));
+  return gsi::Credential(std::move(cert), std::move(key));
+}
+
+ServerConfig base_config() {
+  ServerConfig config;
+  config.accepted_credentials.add("/C=US/O=Grid/OU=People/*");
+  config.authorized_retrievers.add("/C=US/O=Grid/OU=People/*");
+  config.authorized_retrievers.add("/C=US/O=Grid/OU=Portals/*");
+  config.worker_threads = 2;
+  config.keygen_pool_size = 0;  // EC keygen is cheap; keep tests lean
+  return config;
+}
+
+class ReplicationE2ETest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("myproxy-repl-e2e-" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    start_primary();
+  }
+
+  void TearDown() override {
+    stop_replica();
+    stop_primary();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  void start_primary() {
+    journal_ = std::make_shared<replication::ReplicationJournal>(
+        dir_ / "journal.log");
+    repository::RepositoryPolicy policy;
+    policy.kdf_iterations = 100;
+    auto repo = std::make_shared<repository::Repository>(
+        std::make_unique<replication::ReplicatedStore>(
+            std::make_unique<repository::MemoryCredentialStore>(), journal_,
+            dir_ / "journal.watermark"),
+        policy);
+
+    ServerConfig config = base_config();
+    config.replication_role = replication::ReplicationRole::kPrimary;
+    config.journal = journal_;
+    config.replica_acl.add(std::string(kReplicaDn));
+    primary_ = std::make_unique<MyProxyServer>(
+        make_service("/C=US/O=Grid/OU=Services/CN=myproxy.grid.test"),
+        make_trust_store(), repo, std::move(config));
+    primary_->start();
+  }
+
+  void start_replica() {
+    repository::RepositoryPolicy policy;
+    policy.kdf_iterations = 100;
+    // A persistent store: the replication_state_file offset is only
+    // meaningful alongside store contents that survive a restart.
+    auto repo = std::make_shared<repository::Repository>(
+        std::make_unique<repository::FileCredentialStore>(
+            dir_ / "replica-store"),
+        policy);
+    replica_repo_ = repo;
+
+    ServerConfig config = base_config();
+    config.replication_role = replication::ReplicationRole::kReplica;
+    config.replication_primary_port = primary_->port();
+    config.replication_state_file = dir_ / "replica.state";
+    replica_ = std::make_unique<MyProxyServer>(
+        make_service(std::string(kReplicaDn)), make_trust_store(), repo,
+        std::move(config));
+    replica_->start();
+  }
+
+  void stop_primary() {
+    if (primary_) primary_->stop();
+  }
+  void stop_replica() {
+    if (replica_) replica_->stop();
+  }
+
+  /// Block until the replica has applied the primary journal's tip.
+  void wait_for_catchup() {
+    ASSERT_NE(replica_->replica_session(), nullptr);
+    ASSERT_TRUE(replica_->replica_session()->wait_for_sequence(
+        journal_->last_sequence(), Millis(10000)));
+  }
+
+  MyProxyClient client_for(const gsi::Credential& credential,
+                           std::vector<std::uint16_t> ports) {
+    return MyProxyClient(credential, make_trust_store(), std::move(ports));
+  }
+
+  void put_credential(const gsi::Credential& user,
+                      const std::string& username) {
+    const auto proxy = gsi::create_proxy(user);
+    auto client = client_for(proxy, {primary_->port()});
+    PutOptions options;
+    options.stored_lifetime = Seconds(24 * 3600);
+    client.put(username, kPhrase, proxy, options);
+  }
+
+  std::filesystem::path dir_;
+  std::shared_ptr<replication::ReplicationJournal> journal_;
+  std::shared_ptr<repository::Repository> replica_repo_;
+  std::unique_ptr<MyProxyServer> primary_;
+  std::unique_ptr<MyProxyServer> replica_;
+};
+
+TEST_F(ReplicationE2ETest, SnapshotBootstrapServesReadsFromReplica) {
+  const auto alice = make_user("repl-alice");
+  const auto bob = make_user("repl-bob");
+  put_credential(alice, "alice");
+  put_credential(bob, "bob");
+
+  start_replica();
+  wait_for_catchup();
+  EXPECT_EQ(replica_->replica_session()->stats().snapshots_installed.load(),
+            1u);
+  EXPECT_EQ(replica_repo_->size(), 2u);
+
+  // A portal reads straight from the replica.
+  auto portal = client_for(
+      make_service("/C=US/O=Grid/OU=Portals/CN=portal-r"),
+      {replica_->port()});
+  const gsi::Credential delegated = portal.get("alice", kPhrase);
+  EXPECT_EQ(delegated.identity(), alice.identity());
+  EXPECT_EQ(primary_->stats().repl_snapshots_served.load(), 1u);
+}
+
+TEST_F(ReplicationE2ETest, LiveTailAppliesWritesMadeAfterConnect) {
+  start_replica();
+  const auto alice = make_user("repl-tail-alice");
+  put_credential(alice, "alice");
+  put_credential(alice, "alice2");
+  wait_for_catchup();
+  EXPECT_EQ(replica_repo_->size(), 2u);
+
+  auto portal = client_for(
+      make_service("/C=US/O=Grid/OU=Portals/CN=portal-t"),
+      {replica_->port()});
+  EXPECT_EQ(portal.get("alice2", kPhrase).identity(), alice.identity());
+}
+
+TEST_F(ReplicationE2ETest, ReplicaRefusesWritesAndNamesThePrimary) {
+  const auto alice = make_user("repl-ro-alice");
+  put_credential(alice, "alice");
+  start_replica();
+  wait_for_catchup();
+
+  const auto proxy = gsi::create_proxy(alice);
+  auto direct = client_for(proxy, {replica_->port()});
+  try {
+    direct.put("alice", kPhrase, proxy);
+    FAIL() << "replica accepted a write";
+  } catch (const ReplicaRedirect& e) {
+    EXPECT_EQ(e.primary_port(), primary_->port());
+    EXPECT_NE(std::string(e.what()).find("read-only"), std::string::npos);
+  }
+  EXPECT_THROW(direct.destroy("alice"), ReplicaRedirect);
+  EXPECT_GE(replica_->stats().repl_redirects.load(), 2u);
+
+  // The multi-endpoint client routes the same write to the primary even
+  // with the replica listed.
+  auto failover = client_for(proxy, {primary_->port(), replica_->port()});
+  failover.put("alice", kPhrase, proxy);
+  EXPECT_EQ(journal_->last_sequence(), 2u);
+}
+
+TEST_F(ReplicationE2ETest, ReadsFailOverToReplicaWhenPrimaryDies) {
+  const auto alice = make_user("repl-fo-alice");
+  put_credential(alice, "alice");
+  start_replica();
+  wait_for_catchup();
+
+  stop_primary();
+
+  auto portal = client_for(
+      make_service("/C=US/O=Grid/OU=Portals/CN=portal-fo"),
+      {primary_->port(), replica_->port()});
+  const gsi::Credential delegated = portal.get("alice", kPhrase);
+  EXPECT_EQ(delegated.identity(), alice.identity());
+  EXPECT_EQ(portal.info("alice").owner_dn, alice.identity().str());
+}
+
+TEST_F(ReplicationE2ETest, ReadsFallBackToPrimaryWhenReplicaDies) {
+  const auto alice = make_user("repl-fb-alice");
+  put_credential(alice, "alice");
+  start_replica();
+  wait_for_catchup();
+  const auto replica_port = replica_->port();
+  stop_replica();
+  replica_.reset();
+
+  client::RetryPolicy quick;
+  quick.max_attempts = 1;  // dead endpoint: fail fast, move on
+  auto portal = MyProxyClient(
+      make_service("/C=US/O=Grid/OU=Portals/CN=portal-fb"),
+      make_trust_store(), {primary_->port(), replica_port}, quick);
+  const gsi::Credential delegated = portal.get("alice", kPhrase);
+  EXPECT_EQ(delegated.identity(), alice.identity());
+}
+
+TEST_F(ReplicationE2ETest, MissingStateFileForcesFreshSnapshotOnRestart) {
+  const auto alice = make_user("repl-crash-alice");
+  put_credential(alice, "alice");
+  start_replica();
+  wait_for_catchup();
+  EXPECT_EQ(replica_->replica_session()->stats().snapshots_installed.load(),
+            1u);
+
+  // Crash between snapshot install and state persistence: the state file
+  // never made it to disk, so the restarted replica must not trust its
+  // (possibly partial) local store and bootstraps again.
+  stop_replica();
+  replica_.reset();
+  std::filesystem::remove(dir_ / "replica.state");
+
+  start_replica();
+  wait_for_catchup();
+  EXPECT_EQ(replica_->replica_session()->stats().snapshots_installed.load(),
+            1u);
+  EXPECT_EQ(replica_repo_->size(), 1u);
+}
+
+TEST_F(ReplicationE2ETest, IntactStateFileResumesTailWithoutSnapshot) {
+  const auto alice = make_user("repl-resume-alice");
+  put_credential(alice, "alice");
+  start_replica();
+  wait_for_catchup();
+  stop_replica();
+  replica_.reset();
+
+  put_credential(alice, "alice2");  // written while the replica was down
+
+  start_replica();
+  wait_for_catchup();
+  // The persisted offset is still inside the journal, so the replica
+  // tailed the missed entries instead of re-bootstrapping.
+  EXPECT_EQ(replica_->replica_session()->stats().snapshots_installed.load(),
+            0u);
+  EXPECT_EQ(replica_repo_->size(), 2u);
+}
+
+TEST_F(ReplicationE2ETest, StatsCommandReportsRolesAndReplicationState) {
+  const auto alice = make_user("repl-stats-alice");
+  put_credential(alice, "alice");
+  start_replica();
+  wait_for_catchup();
+
+  auto admin = client_for(
+      make_service("/C=US/O=Grid/OU=Portals/CN=portal-admin"),
+      {primary_->port()});
+  const auto primary_stats = admin.server_stats();
+  EXPECT_EQ(primary_stats.at("REPL_ROLE"), "primary");
+  EXPECT_EQ(primary_stats.at("REPL_JOURNAL_SEQ"),
+            std::to_string(journal_->last_sequence()));
+  EXPECT_EQ(primary_stats.at("PUTS"), "1");
+
+  auto admin_replica = client_for(
+      make_service("/C=US/O=Grid/OU=Portals/CN=portal-admin"),
+      {replica_->port()});
+  const auto replica_stats = admin_replica.server_stats();
+  EXPECT_EQ(replica_stats.at("REPL_ROLE"), "replica");
+  EXPECT_EQ(replica_stats.at("REPL_LAST_APPLIED_SEQ"),
+            std::to_string(journal_->last_sequence()));
+  EXPECT_EQ(replica_stats.at("REPL_LAG"), "0");
+}
+
+TEST_F(ReplicationE2ETest, AuditLogFileRecordsReplicationEventsAsJson) {
+  ServerConfig config = base_config();
+  // Cheap sanity check of the JSONL sink using a standalone server; the
+  // replication events ride the same AuditLog::record path.
+  const auto audit_path = dir_ / "audit.jsonl";
+  config.audit_log_file = audit_path;
+  auto repo = std::make_shared<repository::Repository>(
+      std::make_unique<repository::MemoryCredentialStore>(),
+      repository::RepositoryPolicy{});
+  MyProxyServer server(
+      make_service("/C=US/O=Grid/OU=Services/CN=audit.grid.test"),
+      make_trust_store(), repo, std::move(config));
+  server.start();
+  const auto alice = make_user("repl-audit-alice");
+  const auto proxy = gsi::create_proxy(alice);
+  auto client = client_for(proxy, {server.port()});
+  PutOptions options;
+  options.stored_lifetime = Seconds(3600);
+  client.put("alice", "a much longer phrase", proxy, options);
+  server.stop();
+
+  std::ifstream in(audit_path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  bool saw_put = false;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    if (line.find("\"command\":\"PUT\"") != std::string::npos &&
+        line.find("\"outcome\":\"success\"") != std::string::npos) {
+      saw_put = true;
+    }
+  }
+  EXPECT_TRUE(saw_put);
+}
+
+}  // namespace
+}  // namespace myproxy

@@ -45,6 +45,32 @@ TEST(Args, RepeatedValueFlagKeepsLast) {
   EXPECT_EQ(args.get("--port"), "2");
 }
 
+TEST(Args, PortsFromArgsParsesEndpointLists) {
+  auto single = make_args({"--port", "7512"}, {"--port"});
+  EXPECT_EQ(ports_from_args(single),
+            (std::vector<std::uint16_t>{7512}));
+
+  auto list = make_args({"--port", "7512, 7513,7514"}, {"--port"});
+  EXPECT_EQ(ports_from_args(list),
+            (std::vector<std::uint16_t>{7512, 7513, 7514}));
+
+  auto absent = make_args({}, {"--port"});
+  EXPECT_EQ(ports_from_args(absent),
+            (std::vector<std::uint16_t>{7512}));
+}
+
+TEST(Args, PortsFromArgsRejectsGarbage) {
+  EXPECT_THROW(
+      (void)ports_from_args(make_args({"--port", "web"}, {"--port"})),
+      ConfigError);
+  EXPECT_THROW(
+      (void)ports_from_args(make_args({"--port", "70000"}, {"--port"})),
+      ConfigError);
+  EXPECT_THROW(
+      (void)ports_from_args(make_args({"--port", ","}, {"--port"})),
+      ConfigError);
+}
+
 TEST(FileIo, WriteReadRoundTrip) {
   const auto path =
       std::filesystem::temp_directory_path() / "myproxy-toolutil-test.txt";

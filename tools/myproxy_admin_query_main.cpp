@@ -6,6 +6,13 @@
 // Usage:
 //   myproxy-admin-query --storage /var/lib/myproxy [--user alice]
 //       [--expired]   # only expired records (candidates for sweeping)
+//
+// Online mode: query a running server's operation counters and
+// replication state (role, lag, last acked sequence) over the STATS
+// command instead of reading the storage directory:
+//   myproxy-admin-query --stats --cred admincred.pem --trust ca.pem
+//       --port 7512[,7513,...]
+#include "client/myproxy_client.hpp"
 #include "repository/credential_store.hpp"
 #include "tool_util.hpp"
 
@@ -38,6 +45,21 @@ void print_record(const repository::CredentialRecord& record) {
   }
 }
 
+void stats(const tools::Args& args) {
+  const auto credential =
+      tools::load_credential(args.get_or("--cred", "admincred.pem"),
+                             args.get_or("--key-passphrase", ""));
+  auto trust = tools::load_trust_store(args.get_or("--trust", "ca.pem"));
+  client::MyProxyClient client(credential, std::move(trust),
+                               tools::ports_from_args(args),
+                               tools::retry_policy_from_args(args));
+  // The server returns a flat key/value map; print it sorted as-is so new
+  // counters show up without a tool release.
+  for (const auto& [key, value] : client.server_stats()) {
+    std::cout << key << '=' << value << '\n';
+  }
+}
+
 void query(const tools::Args& args) {
   const std::string storage = args.get_or("--storage", "/var/lib/myproxy");
   repository::FileCredentialStore store(storage);
@@ -63,7 +85,16 @@ void query(const tools::Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const myproxy::tools::Args args(argc, argv, {"--storage", "--user"});
-  return myproxy::tools::run_tool("myproxy-admin-query",
-                                  [&args] { query(args); });
+  const myproxy::tools::Args args(
+      argc, argv,
+      myproxy::tools::with_retry_flags({"--storage", "--user", "--cred",
+                                        "--trust", "--port",
+                                        "--key-passphrase"}));
+  return myproxy::tools::run_tool("myproxy-admin-query", [&args] {
+    if (args.has("--stats")) {
+      stats(args);
+    } else {
+      query(args);
+    }
+  });
 }

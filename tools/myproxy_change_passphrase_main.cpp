@@ -3,7 +3,7 @@
 //
 // Usage:
 //   myproxy-change-passphrase --cred usercred.pem --trust ca.pem
-//       --port 7512 --user alice [--name slot]
+//       --port 7512[,7513,...] --user alice [--name slot]
 //       --passphrase-file old.txt --new-passphrase-file new.txt
 #include "client/myproxy_client.hpp"
 #include "gsi/proxy.hpp"
@@ -17,8 +17,7 @@ void change(const tools::Args& args) {
   const auto source =
       tools::load_credential(args.get_or("--cred", "usercred.pem"));
   auto trust = tools::load_trust_store(args.get_or("--trust", "ca.pem"));
-  const auto port =
-      static_cast<std::uint16_t>(std::stoi(args.get_or("--port", "7512")));
+  const auto ports = tools::ports_from_args(args);
   const std::string username = args.get_or("--user", "anonymous");
   const std::string old_phrase =
       tools::read_passphrase(args, "Enter current MyProxy pass phrase");
@@ -35,7 +34,7 @@ void change(const tools::Args& args) {
   }
 
   const gsi::Credential proxy = gsi::create_proxy(source);
-  client::MyProxyClient client(proxy, std::move(trust), port,
+  client::MyProxyClient client(proxy, std::move(trust), ports,
                                tools::retry_policy_from_args(args));
   client.change_passphrase(username, old_phrase, new_phrase,
                            args.get_or("--name", ""));

@@ -2,7 +2,8 @@
 //
 // Usage:
 //   myproxy-get-delegation --cred portalcred.pem --trust ca.pem
-//       --port 7512 --user alice --out /tmp/x509up [--lifetime 7200]
+//       --port 7512[,7513,...] --user alice --out /tmp/x509up
+//       [--lifetime 7200]
 //       [--name slot] [--limited] [--otp] [--passphrase-file f]
 //       [--retries N] [--retry-backoff-ms MS] [--connect-timeout-ms MS]
 //       [--io-timeout-ms MS]
@@ -17,13 +18,12 @@ void get_delegation(const tools::Args& args) {
   const auto credential =
       tools::load_credential(args.get_or("--cred", "portalcred.pem"));
   auto trust = tools::load_trust_store(args.get_or("--trust", "ca.pem"));
-  const auto port =
-      static_cast<std::uint16_t>(std::stoi(args.get_or("--port", "7512")));
+  const auto ports = tools::ports_from_args(args);
   const std::string username = args.get_or("--user", "anonymous");
   const std::string passphrase =
       tools::read_passphrase(args, "Enter MyProxy pass phrase");
 
-  client::MyProxyClient client(credential, std::move(trust), port,
+  client::MyProxyClient client(credential, std::move(trust), ports,
                                tools::retry_policy_from_args(args));
   client::GetOptions options;
   options.lifetime = Seconds(std::stoll(args.get_or("--lifetime", "0")));

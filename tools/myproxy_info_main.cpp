@@ -1,7 +1,7 @@
 // myproxy-info: show metadata for stored credentials.
 //
 // Usage:
-//   myproxy-info --cred usercred.pem --trust ca.pem --port 7512
+//   myproxy-info --cred usercred.pem --trust ca.pem --port 7512[,7513,...]
 //       --user alice [--name slot]
 #include "client/myproxy_client.hpp"
 #include "gsi/proxy.hpp"
@@ -15,12 +15,11 @@ void info(const tools::Args& args) {
   const auto source =
       tools::load_credential(args.get_or("--cred", "usercred.pem"));
   auto trust = tools::load_trust_store(args.get_or("--trust", "ca.pem"));
-  const auto port =
-      static_cast<std::uint16_t>(std::stoi(args.get_or("--port", "7512")));
+  const auto ports = tools::ports_from_args(args);
   const std::string username = args.get_or("--user", "anonymous");
 
   const gsi::Credential proxy = gsi::create_proxy(source);
-  client::MyProxyClient client(proxy, std::move(trust), port,
+  client::MyProxyClient client(proxy, std::move(trust), ports,
                                tools::retry_policy_from_args(args));
   const auto result = client.info(username, args.get_or("--name", ""));
   std::cout << "username:       " << username << '\n'

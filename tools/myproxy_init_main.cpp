@@ -1,7 +1,7 @@
 // myproxy-init: delegate a proxy credential to the repository (Figure 1).
 //
 // Usage:
-//   myproxy-init --cred usercred.pem --trust ca.pem --port 7512
+//   myproxy-init --cred usercred.pem --trust ca.pem --port 7512[,7513,...]
 //       --user alice [--lifetime 604800] [--max-delegation 43200]
 //       [--name slot] [--retriever "<dn glob>"] [--renewer "<dn glob>"]
 //       [--limited] [--restriction "rights=a,b"] [--tags t1,t2] [--otp]
@@ -19,8 +19,7 @@ void init(const tools::Args& args) {
       tools::load_credential(args.get_or("--cred", "usercred.pem"),
                              args.get_or("--key-passphrase", ""));
   auto trust = tools::load_trust_store(args.get_or("--trust", "ca.pem"));
-  const auto port =
-      static_cast<std::uint16_t>(std::stoi(args.get_or("--port", "7512")));
+  const auto ports = tools::ports_from_args(args);
   const std::string username = args.get_or("--user", "anonymous");
   const std::string passphrase =
       tools::read_passphrase(args, "Enter MyProxy pass phrase");
@@ -33,7 +32,7 @@ void init(const tools::Args& args) {
                                      std::to_string(kDefaultRepositoryLifetime.count()))));
   const gsi::Credential proxy = gsi::create_proxy(source, proxy_options);
 
-  client::MyProxyClient client(proxy, std::move(trust), port,
+  client::MyProxyClient client(proxy, std::move(trust), ports,
                                tools::retry_policy_from_args(args));
   client::PutOptions options;
   options.stored_lifetime = proxy_options.lifetime;

@@ -2,7 +2,7 @@
 // repository to pick the credential for a task (paper §6.2).
 //
 // Usage:
-//   myproxy-list --cred usercred.pem --trust ca.pem --port 7512
+//   myproxy-list --cred usercred.pem --trust ca.pem --port 7512[,7513,...]
 //       --user alice [--task transfer]
 #include "client/myproxy_client.hpp"
 #include "gsi/proxy.hpp"
@@ -16,12 +16,11 @@ void list(const tools::Args& args) {
   const auto source =
       tools::load_credential(args.get_or("--cred", "usercred.pem"));
   auto trust = tools::load_trust_store(args.get_or("--trust", "ca.pem"));
-  const auto port =
-      static_cast<std::uint16_t>(std::stoi(args.get_or("--port", "7512")));
+  const auto ports = tools::ports_from_args(args);
   const std::string username = args.get_or("--user", "anonymous");
 
   const gsi::Credential proxy = gsi::create_proxy(source);
-  client::MyProxyClient client(proxy, std::move(trust), port,
+  client::MyProxyClient client(proxy, std::move(trust), ports,
                                tools::retry_policy_from_args(args));
   if (const auto task = args.get("--task")) {
     const std::string selected = client.select_for_task(username, *task);

@@ -2,7 +2,7 @@
 // (paper §6.1; owner-only).
 //
 // Usage:
-//   myproxy-retrieve --cred usercred.pem --trust ca.pem --port 7512
+//   myproxy-retrieve --cred usercred.pem --trust ca.pem --port 7512[,7513,...]
 //       --user alice --out restored.pem [--name slot] [--passphrase-file f]
 #include "client/myproxy_client.hpp"
 #include "gsi/proxy.hpp"
@@ -16,14 +16,13 @@ void retrieve(const tools::Args& args) {
   const auto source =
       tools::load_credential(args.get_or("--cred", "usercred.pem"));
   auto trust = tools::load_trust_store(args.get_or("--trust", "ca.pem"));
-  const auto port =
-      static_cast<std::uint16_t>(std::stoi(args.get_or("--port", "7512")));
+  const auto ports = tools::ports_from_args(args);
   const std::string username = args.get_or("--user", "anonymous");
   const std::string passphrase =
       tools::read_passphrase(args, "Enter MyProxy pass phrase");
 
   const gsi::Credential proxy = gsi::create_proxy(source);
-  client::MyProxyClient client(proxy, std::move(trust), port,
+  client::MyProxyClient client(proxy, std::move(trust), ports,
                                tools::retry_policy_from_args(args));
   const gsi::Credential restored =
       client.retrieve(username, passphrase, args.get_or("--name", ""));

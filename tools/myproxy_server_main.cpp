@@ -32,10 +32,22 @@
 //   store_sync_mode       none|fsync|group  # PUT commit durability
 //   store_scan_threads    <n>      # startup index-scan threads (0 = auto)
 //   sweep_interval_s      <s>      # background expiry sweep period (0 = off)
+//
+// Replication & audit:
+//   replication_role      standalone|primary|replica
+//   replication_primary   <port>   # replica: port of the primary
+//   replica_acl           "<dn glob>"  # primary: replica DNs (repeatable)
+//   replication_batch     <n>      # primary: max entries per shipped batch
+//   replication_journal   <path>   # primary journal (default <storage>/journal.log)
+//   replication_sync_mode none|fsync|group  # journal append durability
+//   replication_state_file <path>  # replica offset (default <storage>/replica.state)
+//   audit_log_file        <path>   # append-only JSONL audit sink
 #include <csignal>
 
 #include "common/config.hpp"
 #include "common/logging.hpp"
+#include "replication/replicated_store.hpp"
+#include "replication/wire.hpp"
 #include "repository/cached_store.hpp"
 #include "server/myproxy_server.hpp"
 #include "tool_util.hpp"
@@ -70,6 +82,9 @@ void serve(const tools::Args& args) {
   policy.passphrase_policy.set_min_length(static_cast<std::size_t>(
       config.get_int_or("passphrase_min_length", 6)));
 
+  const std::string storage_dir =
+      args.get_or("--storage", config.get_or("storage_dir", ""));
+
   std::unique_ptr<repository::CredentialStore> store;
   if (args.has("--storage") || config.has("storage_dir")) {
     repository::FileStoreOptions store_options;
@@ -83,12 +98,33 @@ void serve(const tools::Args& args) {
         config.get_or("store_sync_mode", "fsync"));
     store_options.scan_threads = static_cast<std::size_t>(
         config.get_int_or("store_scan_threads", 0));
-    store = std::make_unique<repository::FileCredentialStore>(
-        args.get_or("--storage", config.get_or("storage_dir", "")),
-        store_options);
+    store = std::make_unique<repository::FileCredentialStore>(storage_dir,
+                                                              store_options);
   } else {
     store = std::make_unique<repository::MemoryCredentialStore>();
   }
+
+  const auto role = replication::replication_role_from_string(
+      config.get_or("replication_role", "standalone"));
+  std::shared_ptr<replication::ReplicationJournal> journal;
+  if (role == replication::ReplicationRole::kPrimary) {
+    // The journal wraps the innermost store so every mutation is sequenced
+    // before the read cache sees it.
+    const std::string journal_path = config.get_or(
+        "replication_journal",
+        storage_dir.empty() ? "" : storage_dir + "/journal.log");
+    if (journal_path.empty()) {
+      throw Error(ErrorCode::kConfig,
+                  "replication_role=primary needs replication_journal "
+                  "(or a storage directory to default into)");
+    }
+    journal = std::make_shared<replication::ReplicationJournal>(
+        journal_path, repository::sync_mode_from_string(
+                          config.get_or("replication_sync_mode", "fsync")));
+    store = std::make_unique<replication::ReplicatedStore>(
+        std::move(store), journal, journal_path + ".watermark");
+  }
+
   const auto cache_shards =
       static_cast<std::size_t>(config.get_int_or("store_cache_shards", 8));
   if (cache_shards > 0) {
@@ -155,6 +191,27 @@ void serve(const tools::Args& args) {
     log::warn("myproxy-server",
               "no authorized_retrievers configured; accepting all "
               "authenticated retrievers");
+  }
+
+  server_config.replication_role = role;
+  server_config.journal = journal;
+  server_config.replication_batch = static_cast<std::size_t>(config.get_int_or(
+      "replication_batch",
+      static_cast<std::int64_t>(server_config.replication_batch)));
+  for (const auto& pattern : config.get_all("replica_acl")) {
+    server_config.replica_acl.add(pattern);
+  }
+  server_config.replication_primary_port = static_cast<std::uint16_t>(
+      config.get_int_or("replication_primary", 0));
+  server_config.replication_state_file = config.get_or(
+      "replication_state_file",
+      storage_dir.empty() ? "" : storage_dir + "/replica.state");
+  server_config.audit_log_file = config.get_or("audit_log_file", "");
+  if (role == replication::ReplicationRole::kPrimary &&
+      server_config.replica_acl.empty()) {
+    log::warn("myproxy-server",
+              "replication_role=primary but replica_acl is empty; no "
+              "replica will be able to connect");
   }
 
   server::MyProxyServer server(credential, std::move(trust), repository,

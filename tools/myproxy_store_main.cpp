@@ -2,7 +2,7 @@
 // the repository for later retrieval from anywhere (paper §6.1).
 //
 // Usage:
-//   myproxy-store --cred usercred.pem --trust ca.pem --port 7512
+//   myproxy-store --cred usercred.pem --trust ca.pem --port 7512[,7513,...]
 //       --user alice [--name slot] [--tags t1,t2] [--passphrase-file f]
 #include "client/myproxy_client.hpp"
 #include "gsi/proxy.hpp"
@@ -17,15 +17,14 @@ void store(const tools::Args& args) {
       tools::load_credential(args.get_or("--cred", "usercred.pem"),
                              args.get_or("--key-passphrase", ""));
   auto trust = tools::load_trust_store(args.get_or("--trust", "ca.pem"));
-  const auto port =
-      static_cast<std::uint16_t>(std::stoi(args.get_or("--port", "7512")));
+  const auto ports = tools::ports_from_args(args);
   const std::string username = args.get_or("--user", "anonymous");
   const std::string passphrase =
       tools::read_passphrase(args, "Enter MyProxy pass phrase");
 
   // Authenticate with a fresh proxy; ship the long-term credential itself.
   const gsi::Credential proxy = gsi::create_proxy(source);
-  client::MyProxyClient client(proxy, std::move(trust), port,
+  client::MyProxyClient client(proxy, std::move(trust), ports,
                                tools::retry_policy_from_args(args));
   client::PutOptions options;
   options.credential_name = args.get_or("--name", "");

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/format.hpp"
+#include "common/strings.hpp"
 #include "pki/certificate.hpp"
 
 namespace myproxy::tools {
@@ -97,6 +98,30 @@ pki::TrustStore load_trust_store(const std::filesystem::path& path) {
     store.add_root(cert);
   }
   return store;
+}
+
+std::vector<std::uint16_t> ports_from_args(const Args& args,
+                                           std::string_view fallback) {
+  const std::string spec = args.get_or("--port", std::string(fallback));
+  std::vector<std::uint16_t> ports;
+  for (const std::string& part : strings::split(spec, ',')) {
+    const std::string token(strings::trim(part));
+    if (token.empty()) continue;
+    int value = 0;
+    try {
+      value = std::stoi(token);
+    } catch (const std::exception&) {
+      throw ConfigError(fmt::format("invalid port '{}' in --port", token));
+    }
+    if (value < 1 || value > 65535) {
+      throw ConfigError(fmt::format("port {} out of range in --port", value));
+    }
+    ports.push_back(static_cast<std::uint16_t>(value));
+  }
+  if (ports.empty()) {
+    throw ConfigError("--port needs at least one port number");
+  }
+  return ports;
 }
 
 std::vector<std::string> with_retry_flags(

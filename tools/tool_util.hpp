@@ -55,6 +55,13 @@ void write_file(const std::filesystem::path& path, std::string_view content,
 /// Run `body` with uniform error reporting; returns the process exit code.
 int run_tool(std::string_view name, const std::function<void()>& body);
 
+/// Parse the --port flag as a comma-separated endpoint list ("7512" or
+/// "7512,7513,7514") — primary first, replicas after, matching
+/// MyProxyClient's failover contract. `fallback` is used when the flag is
+/// absent.
+[[nodiscard]] std::vector<std::uint16_t> ports_from_args(
+    const Args& args, std::string_view fallback = "7512");
+
 /// Append the shared connection-robustness flags (--retries,
 /// --retry-backoff-ms, --connect-timeout-ms, --io-timeout-ms) to a tool's
 /// value-flag list.
