@@ -26,7 +26,12 @@ std::int64_t field_int(const Response& response, const std::string& key) {
   if (it == response.fields.end()) {
     throw ProtocolError(fmt::format("response missing field '{}'", key));
   }
-  return std::stoll(it->second);
+  const auto value = strings::parse_i64(it->second);
+  if (!value.has_value()) {
+    throw ProtocolError(fmt::format("response field '{}' is not a number: '{}'",
+                                    key, it->second));
+  }
+  return *value;
 }
 
 }  // namespace
@@ -65,11 +70,28 @@ template <typename Fn>
 auto MyProxyClient::run_op(OpKind kind, Fn&& fn)
     -> decltype(fn(std::uint16_t{})) {
   const std::vector<std::uint16_t> order = candidates(kind);
+  bool followed_redirect = false;
   for (std::size_t i = 0; i < order.size(); ++i) {
     const bool last = i + 1 == order.size();
     try {
       return fn(order[i]);
     } catch (const ReplicaRedirect& e) {
+      // A write landed on a replica (the configured "primary" endpoint was
+      // demoted, or the list simply starts with a replica). The refusal
+      // names the real primary — follow it once before giving up rather
+      // than hard-failing on information we were just handed.
+      if (kind == OpKind::kWrite) {
+        const std::uint16_t hint = e.primary_port();
+        if (!followed_redirect && hint != 0 && hint != order[i]) {
+          followed_redirect = true;
+          log::warn(kLogComponent,
+                    "endpoint {} is a replica; following redirect to "
+                    "primary {}",
+                    order[i], hint);
+          return fn(hint);
+        }
+        throw;
+      }
       // A read landed on a server that insists on the primary (e.g. an OTP
       // retrieval). Fall through to the next endpoint — the primary is
       // always last in a read order.
@@ -191,11 +213,12 @@ Response MyProxyClient::transact(tls::TlsChannel& channel,
         "server refused {}: {}", to_string(request.command), response.error);
     const auto primary = response.fields.find("PRIMARY");
     if (primary != response.fields.end()) {
+      // Strict parse; an unparseable or out-of-range hint degrades to 0
+      // (redirect with no usable target), never to a truncated port.
       std::uint16_t primary_port = 0;
-      try {
-        primary_port = static_cast<std::uint16_t>(std::stoul(primary->second));
-      } catch (const std::exception&) {
-        // Unparseable hint; the redirect message still tells the story.
+      const auto hint = strings::parse_u64(primary->second);
+      if (hint.has_value() && *hint > 0 && *hint <= 0xffff) {
+        primary_port = static_cast<std::uint16_t>(*hint);
       }
       throw ReplicaRedirect(primary_port, message);
     }
@@ -341,8 +364,12 @@ StoredCredentialInfo MyProxyClient::info(std::string_view username,
     }
     const auto otp = response.fields.find("OTP_REMAINING");
     if (otp != response.fields.end()) {
-      out.otp_remaining =
-          static_cast<std::uint32_t>(std::stoul(otp->second));
+      const auto remaining = strings::parse_u64(otp->second);
+      if (!remaining.has_value() || *remaining > 0xffffffffULL) {
+        throw ProtocolError(fmt::format(
+            "malformed OTP_REMAINING field: '{}'", otp->second));
+      }
+      out.otp_remaining = static_cast<std::uint32_t>(*remaining);
     }
     return out;
   });

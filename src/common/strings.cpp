@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 
 namespace myproxy::strings {
 
@@ -75,6 +76,27 @@ bool is_all_digits(std::string_view s) noexcept {
   return std::all_of(s.begin(), s.end(), [](unsigned char c) {
     return std::isdigit(c) != 0;
   });
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view s) noexcept {
+  // from_chars already rejects '-' for unsigned types and never accepts
+  // '+' or whitespace; the explicit digit check keeps the contract obvious
+  // and independent of library details.
+  if (!is_all_digits(s)) return std::nullopt;
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<std::int64_t> parse_i64(std::string_view s) noexcept {
+  if (s.empty()) return std::nullopt;
+  const std::string_view digits = s.front() == '-' ? s.substr(1) : s;
+  if (!is_all_digits(digits)) return std::nullopt;
+  std::int64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
 }
 
 bool constant_time_equals(std::string_view a, std::string_view b) noexcept {

@@ -1,6 +1,8 @@
 // Small string helpers used throughout the code base.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -27,6 +29,18 @@ namespace myproxy::strings {
 
 /// True if `s` consists only of decimal digits (and is non-empty).
 [[nodiscard]] bool is_all_digits(std::string_view s) noexcept;
+
+/// Strict decimal parse of an unsigned 64-bit value: the whole input must
+/// be digits — no sign, no whitespace, no trailing junk, no overflow.
+/// Wire fields, ticket fields, and store records all parse through here so
+/// that "12abc" or "-3" is rejected instead of silently truncated.
+[[nodiscard]] std::optional<std::uint64_t> parse_u64(
+    std::string_view s) noexcept;
+
+/// Strict decimal parse of a signed 64-bit value: an optional leading '-'
+/// followed by digits, full-width, no overflow. '+' is rejected.
+[[nodiscard]] std::optional<std::int64_t> parse_i64(
+    std::string_view s) noexcept;
 
 /// Constant-time equality for secrets (pass phrases, MACs). Always touches
 /// every byte of both inputs regardless of where they first differ.

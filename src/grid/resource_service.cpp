@@ -343,8 +343,11 @@ ResourceClient::JobStatus ResourceClient::job_status(
   status.state = state == "running"     ? JobState::kRunning
                  : state == "completed" ? JobState::kCompleted
                                         : JobState::kCredentialExpired;
-  status.credential_expires =
-      from_unix(std::stoll(response.fields.at("CRED_EXPIRES")));
+  const auto expires = strings::parse_i64(response.fields.at("CRED_EXPIRES"));
+  if (!expires.has_value()) {
+    throw ProtocolError("malformed CRED_EXPIRES field");
+  }
+  status.credential_expires = from_unix(*expires);
   return status;
 }
 

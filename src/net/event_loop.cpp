@@ -1,0 +1,215 @@
+#include "net/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+#include "common/logging.hpp"
+
+namespace myproxy::net {
+
+namespace {
+
+constexpr std::string_view kLogComponent = "event-loop";
+
+[[noreturn]] void throw_errno(std::string_view what) {
+  throw IoError(fmt::format("{}: {}", what, std::strerror(errno)));
+}
+
+std::uint32_t to_epoll(std::uint32_t interest) {
+  std::uint32_t events = 0;
+  if ((interest & EventLoop::kRead) != 0) events |= EPOLLIN;
+  if ((interest & EventLoop::kWrite) != 0) events |= EPOLLOUT;
+  return events;
+}
+
+std::uint32_t from_epoll(std::uint32_t events) {
+  std::uint32_t bits = 0;
+  if ((events & (EPOLLIN | EPOLLRDHUP)) != 0) bits |= EventLoop::kRead;
+  if ((events & EPOLLOUT) != 0) bits |= EventLoop::kWrite;
+  if ((events & (EPOLLERR | EPOLLHUP)) != 0) bits |= EventLoop::kError;
+  return bits;
+}
+
+/// Pack (generation, fd) into epoll_event.data so a stale event — queued
+/// before del_fd, or for a since-reused fd number — can be recognized and
+/// dropped at dispatch time.
+std::uint64_t pack(std::uint32_t generation, int fd) {
+  return (static_cast<std::uint64_t>(generation) << 32) |
+         static_cast<std::uint32_t>(fd);
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw_errno("epoll_create1");
+  wakeup_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wakeup_fd_ < 0) {
+    ::close(epoll_fd_);
+    throw_errno("eventfd");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = pack(0, wakeup_fd_);
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wakeup_fd_, &ev) != 0) {
+    ::close(wakeup_fd_);
+    ::close(epoll_fd_);
+    throw_errno("epoll_ctl(wakeup)");
+  }
+}
+
+EventLoop::~EventLoop() {
+  if (wakeup_fd_ >= 0) ::close(wakeup_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EventLoop::add_fd(int fd, std::uint32_t interest, Callback callback) {
+  FdEntry entry;
+  entry.generation = next_generation_++;
+  entry.interest = interest;
+  entry.callback = std::make_shared<Callback>(std::move(callback));
+  epoll_event ev{};
+  ev.events = to_epoll(interest);
+  ev.data.u64 = pack(entry.generation, fd);
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    throw_errno("epoll_ctl(add)");
+  }
+  handlers_[fd] = std::move(entry);
+}
+
+void EventLoop::mod_fd(int fd, std::uint32_t interest) {
+  const auto it = handlers_.find(fd);
+  if (it == handlers_.end()) {
+    throw IoError(fmt::format("mod_fd on unregistered fd {}", fd));
+  }
+  if (it->second.interest == interest) return;
+  epoll_event ev{};
+  ev.events = to_epoll(interest);
+  ev.data.u64 = pack(it->second.generation, fd);
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    throw_errno("epoll_ctl(mod)");
+  }
+  it->second.interest = interest;
+}
+
+void EventLoop::del_fd(int fd) {
+  if (handlers_.erase(fd) == 0) return;
+  // The caller still owns (and will close) the descriptor; dropping the
+  // registration here keeps any same-batch queued events from dispatching.
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+EventLoop::TimerId EventLoop::add_timer(std::chrono::milliseconds delay,
+                                        std::function<void()> callback) {
+  const TimerId id = next_timer_id_++;
+  timers_[id] = std::move(callback);
+  timer_heap_.push(TimerEntry{std::chrono::steady_clock::now() + delay, id});
+  return id;
+}
+
+void EventLoop::cancel_timer(TimerId id) {
+  // The heap entry is left in place and skipped lazily when it surfaces.
+  timers_.erase(id);
+}
+
+void EventLoop::post(std::function<void()> task) {
+  {
+    const std::scoped_lock lock(posted_mutex_);
+    posted_.push_back(std::move(task));
+  }
+  wakeup();
+}
+
+void EventLoop::stop() {
+  stopped_.store(true);
+  wakeup();
+}
+
+void EventLoop::wakeup() noexcept {
+  const std::uint64_t one = 1;
+  (void)!::write(wakeup_fd_, &one, sizeof(one));
+}
+
+void EventLoop::run_posted() {
+  std::vector<std::function<void()>> tasks;
+  {
+    const std::scoped_lock lock(posted_mutex_);
+    tasks.swap(posted_);
+  }
+  for (auto& task : tasks) task();
+}
+
+void EventLoop::run_expired_timers() {
+  const auto now = std::chrono::steady_clock::now();
+  while (!timer_heap_.empty() && timer_heap_.top().deadline <= now) {
+    const TimerId id = timer_heap_.top().id;
+    timer_heap_.pop();
+    const auto it = timers_.find(id);
+    if (it == timers_.end()) continue;  // cancelled
+    auto callback = std::move(it->second);
+    timers_.erase(it);
+    callback();
+  }
+}
+
+int EventLoop::next_timeout_ms() {
+  // Drop cancelled heads so a cancelled near timer cannot force a busy
+  // wakeup cadence.
+  while (!timer_heap_.empty() &&
+         timers_.find(timer_heap_.top().id) == timers_.end()) {
+    timer_heap_.pop();
+  }
+  if (timer_heap_.empty()) return -1;
+  const auto now = std::chrono::steady_clock::now();
+  const auto head = timer_heap_.top().deadline;
+  if (head <= now) return 0;
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(head - now)
+          .count() +
+      1;
+  return static_cast<int>(std::min<long long>(ms, 60'000));
+}
+
+void EventLoop::run() {
+  std::vector<epoll_event> events(128);
+  while (!stopped_.load()) {
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()),
+                               next_timeout_ms());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      log::warn(kLogComponent, "epoll_wait failed: {}", std::strerror(errno));
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t data = events[static_cast<std::size_t>(i)].data.u64;
+      const int fd = static_cast<int>(data & 0xffffffffU);
+      const auto generation = static_cast<std::uint32_t>(data >> 32);
+      if (fd == wakeup_fd_) {
+        std::uint64_t drained = 0;
+        (void)!::read(wakeup_fd_, &drained, sizeof(drained));
+        continue;
+      }
+      const auto it = handlers_.find(fd);
+      if (it == handlers_.end() || it->second.generation != generation) {
+        continue;  // deleted or re-registered earlier in this batch
+      }
+      // Hold the callback across the invocation: the callback may del_fd
+      // (erasing the map entry) while it is running.
+      const std::shared_ptr<Callback> callback = it->second.callback;
+      (*callback)(from_epoll(events[static_cast<std::size_t>(i)].events));
+    }
+    run_expired_timers();
+    run_posted();
+  }
+  run_posted();
+}
+
+}  // namespace myproxy::net

@@ -109,6 +109,16 @@ void Socket::set_write_timeout(std::chrono::milliseconds timeout) {
   }
 }
 
+void Socket::set_nonblocking(bool enabled) {
+  if (!valid()) throw IoError("set_nonblocking on closed socket");
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  const int updated = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (updated != flags && ::fcntl(fd_, F_SETFL, updated) != 0) {
+    throw_errno("fcntl(F_SETFL)");
+  }
+}
+
 void Socket::shutdown_send() noexcept {
   if (valid()) ::shutdown(fd_, SHUT_WR);
 }
@@ -145,7 +155,9 @@ TcpListener TcpListener::bind(std::uint16_t port) {
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     throw_errno("bind");
   }
-  if (::listen(fd, 64) != 0) throw_errno("listen");
+  // Deep enough for a reactor-scale connect burst; the kernel clamps to
+  // net.core.somaxconn anyway.
+  if (::listen(fd, 512) != 0) throw_errno("listen");
 
   socklen_t len = sizeof(addr);
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
@@ -172,6 +184,25 @@ Socket TcpListener::accept() {
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return Socket(fd);
+}
+
+std::optional<Socket> TcpListener::try_accept() {
+  if (!socket_.valid()) throw IoError("accept on closed listener");
+  while (true) {
+    const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return std::nullopt;
+      throw_errno("accept");
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return Socket(fd);
+  }
+}
+
+void TcpListener::set_nonblocking(bool enabled) {
+  socket_.set_nonblocking(enabled);
 }
 
 Socket tcp_connect(std::uint16_t port, std::chrono::milliseconds timeout) {

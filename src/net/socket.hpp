@@ -4,6 +4,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -55,6 +56,11 @@ class Socket {
     set_write_timeout(write);
   }
 
+  /// Toggle O_NONBLOCK. The reactor path runs handshake and request reads
+  /// non-blocking, then flips the socket back to blocking (with SO_*TIMEO
+  /// deadlines) before handing it to a worker thread.
+  void set_nonblocking(bool enabled);
+
   /// Shut down writing (sends FIN) without closing the descriptor.
   void shutdown_send() noexcept;
 
@@ -85,6 +91,17 @@ class TcpListener {
   /// Block until a client connects. Throws IoError if the listener was
   /// closed from another thread (the server-shutdown path).
   [[nodiscard]] Socket accept();
+
+  /// Non-blocking accept (listener must be set_nonblocking(true)):
+  /// nullopt when no connection is pending; connections aborted before
+  /// accept are skipped. Throws IoError on real failures.
+  [[nodiscard]] std::optional<Socket> try_accept();
+
+  /// Toggle O_NONBLOCK on the listening descriptor (reactor accept path).
+  void set_nonblocking(bool enabled);
+
+  /// Listening descriptor, for event-loop registration.
+  [[nodiscard]] int fd() const noexcept { return socket_.fd(); }
 
   /// Unblock any accept() blocked in another thread WITHOUT invalidating
   /// the descriptor: a pure read of the fd, so it is safe to call while

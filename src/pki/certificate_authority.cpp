@@ -41,10 +41,11 @@ RevocationList RevocationList::parse(std::string_view text) {
       out.issuer = DistinguishedName::parse(value);
       have_issuer = true;
     } else if (key == "issued_at") {
-      if (!strings::is_all_digits(value)) {
+      const auto issued = strings::parse_i64(value);
+      if (!issued.has_value() || *issued < 0) {
         throw ParseError("CRL issued_at is not a timestamp");
       }
-      out.issued_at = from_unix(std::stoll(std::string(value)));
+      out.issued_at = from_unix(*issued);
       have_time = true;
     } else if (key == "revoked") {
       out.serials.emplace_back(value);

@@ -146,7 +146,11 @@ HttpResponse parse_response(std::string_view raw) {
   HttpResponse response;
   const auto parts = strings::split(status_line, ' ');
   if (parts.size() < 2) throw ParseError("malformed status line");
-  response.status = std::stoi(parts[1]);
+  const auto status = strings::parse_u64(parts[1]);
+  if (!status.has_value() || *status > 999) {
+    throw ParseError(fmt::format("malformed status code: '{}'", parts[1]));
+  }
+  response.status = static_cast<int>(*status);
   response.reason = parts.size() > 2
                         ? strings::join({parts.begin() + 2, parts.end()}, " ")
                         : "";

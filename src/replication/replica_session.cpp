@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "common/format.hpp"
 #include "common/logging.hpp"
+#include "common/strings.hpp"
 #include "net/socket.hpp"
 #include "protocol/message.hpp"
 
@@ -21,7 +22,12 @@ std::uint64_t field_u64(const protocol::Response& response,
     throw ProtocolError(
         fmt::format("replication response missing field '{}'", key));
   }
-  return std::stoull(it->second);
+  const auto value = strings::parse_u64(it->second);
+  if (!value.has_value()) {
+    throw ProtocolError(fmt::format(
+        "replication field '{}' is not a number: '{}'", key, it->second));
+  }
+  return *value;
 }
 
 }  // namespace

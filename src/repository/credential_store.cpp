@@ -188,6 +188,30 @@ std::string CredentialRecord::serialize() const {
   return out;
 }
 
+namespace {
+
+/// Strict numeric record field: "12abc" or a stray sign is a corrupt
+/// record, not a number to salvage.
+std::int64_t record_i64(std::string_view key, std::string_view value) {
+  const auto parsed = strings::parse_i64(value);
+  if (!parsed.has_value()) {
+    throw ParseError(fmt::format(
+        "credential record field '{}' is not a number: '{}'", key, value));
+  }
+  return *parsed;
+}
+
+std::uint64_t record_u64(std::string_view key, std::string_view value) {
+  const auto parsed = strings::parse_u64(value);
+  if (!parsed.has_value()) {
+    throw ParseError(fmt::format(
+        "credential record field '{}' is not a number: '{}'", key, value));
+  }
+  return *parsed;
+}
+
+}  // namespace
+
 CredentialRecord CredentialRecord::parse(std::string_view text) {
   const auto lines = strings::split(text, '\n');
   if (lines.empty() || strings::trim(lines[0]) != "myproxy-record-v1") {
@@ -220,11 +244,11 @@ CredentialRecord CredentialRecord::parse(std::string_view text) {
     } else if (key == "passphrase_digest") {
       record.passphrase_digest = std::string(value);
     } else if (key == "created_at") {
-      record.created_at = from_unix(std::stoll(std::string(value)));
+      record.created_at = from_unix(record_i64(key, value));
     } else if (key == "not_after") {
-      record.not_after = from_unix(std::stoll(std::string(value)));
+      record.not_after = from_unix(record_i64(key, value));
     } else if (key == "max_delegation_lifetime") {
-      record.max_delegation_lifetime = Seconds(std::stoll(std::string(value)));
+      record.max_delegation_lifetime = Seconds(record_i64(key, value));
     } else if (key == "retriever") {
       record.retriever_patterns.emplace_back(value);
     } else if (key == "renewer") {
@@ -238,7 +262,7 @@ CredentialRecord CredentialRecord::parse(std::string_view text) {
     } else if (key == "otp_current") {
       otp_current = std::string(value);
     } else if (key == "otp_remaining") {
-      otp_remaining = static_cast<std::uint32_t>(std::stoul(std::string(value)));
+      otp_remaining = static_cast<std::uint32_t>(record_u64(key, value));
     } else if (key == "blob") {
       record.blob = encoding::base64_decode(value);
       have_blob = true;

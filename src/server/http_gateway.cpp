@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/strings.hpp"
 #include "common/format.hpp"
 #include "common/logging.hpp"
 #include "gsi/proxy.hpp"
@@ -167,9 +168,15 @@ HttpResponse HttpGateway::handle_get(
 
   gsi::ProxyOptions options;
   const std::string lifetime = form_get(form, "lifetime");
-  Seconds requested =
-      lifetime.empty() ? repository_->policy().default_delegation_lifetime
-                       : Seconds(std::stoll(lifetime));
+  Seconds requested = repository_->policy().default_delegation_lifetime;
+  if (!lifetime.empty()) {
+    // Browser-supplied field: reject junk rather than truncating "12abc".
+    const auto parsed = strings::parse_i64(lifetime);
+    if (!parsed.has_value() || *parsed < 0) {
+      throw PolicyError(fmt::format("malformed lifetime: '{}'", lifetime));
+    }
+    requested = Seconds(*parsed);
+  }
   requested = std::min(requested, record->max_delegation_lifetime);
   requested = std::min(requested,
                        repository_->policy().max_delegation_lifetime);

@@ -8,6 +8,7 @@
 #include "common/logging.hpp"
 #include "common/strings.hpp"
 #include "gsi/proxy.hpp"
+#include "server/reactor.hpp"
 
 namespace myproxy::server {
 
@@ -80,12 +81,18 @@ std::optional<pki::VerifiedIdentity> unseal_identity(
     std::string_view appdata) {
   const auto parts = strings::split(appdata, kTicketFieldSep);
   if (parts.size() != 5 || parts[0] != "v1") return std::nullopt;
+  // Strict field parses: a ticket is minted only by this server, so any
+  // malformed number means corruption (or a forgery that got past the MAC,
+  // which must not be met halfway with a best-effort stoul).
+  const auto depth = strings::parse_u64(parts[2]);
+  const auto expires = strings::parse_i64(parts[4]);
+  if (!depth.has_value() || !expires.has_value()) return std::nullopt;
   try {
     pki::VerifiedIdentity peer;
     peer.identity = pki::DistinguishedName::parse(parts[1]);
-    peer.proxy_depth = static_cast<std::size_t>(std::stoul(parts[2]));
+    peer.proxy_depth = static_cast<std::size_t>(*depth);
     peer.limited = parts[3] == "1";
-    peer.expires_at = from_unix(std::stoll(parts[4]));
+    peer.expires_at = from_unix(*expires);
     // The ticket may outlive the credential that authenticated the original
     // connection (proxies are short-lived by design, §2.3); an identity
     // whose chain has lapsed must re-authenticate with a full handshake.
@@ -97,6 +104,17 @@ std::optional<pki::VerifiedIdentity> unseal_identity(
 }
 
 }  // namespace
+
+IoModel io_model_from_string(std::string_view name) {
+  if (name == "threaded") return IoModel::kThreaded;
+  if (name == "reactor") return IoModel::kReactor;
+  throw ConfigError(fmt::format(
+      "unknown io_model '{}' (expected 'threaded' or 'reactor')", name));
+}
+
+std::string_view to_string(IoModel model) noexcept {
+  return model == IoModel::kThreaded ? "threaded" : "reactor";
+}
 
 MyProxyServer::MyProxyServer(
     gsi::Credential host_credential, pki::TrustStore trust_store,
@@ -155,7 +173,13 @@ void MyProxyServer::start() {
       config_.worker_threads,
       config_.max_pending_connections == 0 ? 256
                                            : config_.max_pending_connections);
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  if (config_.io_model == IoModel::kReactor) {
+    reactor_ = std::make_unique<Reactor>(*this, *listener_,
+                                         config_.reactor_threads);
+    reactor_->start();
+  } else {
+    accept_thread_ = std::thread([this] { accept_loop(); });
+  }
   if (config_.sweep_interval > Seconds(0)) {
     sweep_thread_ = std::thread([this] {
       std::unique_lock lock(stop_mutex_);
@@ -173,8 +197,10 @@ void MyProxyServer::start() {
       }
     });
   }
-  log::info(kLogComponent, "myproxy-server listening on port {} as '{}'",
-            port_, host_credential_.identity().str());
+  log::info(kLogComponent,
+            "myproxy-server listening on port {} as '{}' (io_model={})",
+            port_, host_credential_.identity().str(),
+            to_string(config_.io_model));
 }
 
 void MyProxyServer::stop() {
@@ -189,9 +215,15 @@ void MyProxyServer::stop() {
     const std::scoped_lock lock(stop_mutex_);
     stop_cv_.notify_all();
   }
-  // Wake the accept thread with shutdown() (a read of the fd); close(),
-  // which rewrites the fd, must wait until after the join or it races the
-  // accept thread's own reads of the descriptor.
+  // Reactor mode: stop the event loops first (eventfd wakeup + join); that
+  // also deregisters the listener and drops any connections still mid-
+  // handshake. Threaded mode: wake the accept thread with shutdown() (a
+  // read of the fd); close(), which rewrites the fd, must wait until after
+  // the join or it races the accept thread's own reads of the descriptor.
+  if (reactor_ != nullptr) {
+    reactor_->stop();
+    reactor_.reset();
+  }
   if (listener_.has_value()) listener_->shutdown();
   if (accept_thread_.joinable()) accept_thread_.join();
   if (sweep_thread_.joinable()) sweep_thread_.join();
@@ -211,20 +243,17 @@ void MyProxyServer::accept_loop() {
       // Listener closed during shutdown.
       break;
     }
-    if (config_.max_connections != 0 &&
-        in_flight_.load(std::memory_order_relaxed) >=
-            config_.max_connections) {
+    if (!reserve_connection_slot()) {
       shed_connection(std::move(socket), "connection limit reached");
       continue;
     }
     auto shared = std::make_shared<net::Socket>(std::move(socket));
-    in_flight_.fetch_add(1, std::memory_order_relaxed);
     const bool queued = pool_->try_submit([this, shared]() mutable {
       handle_connection(std::move(*shared));
-      in_flight_.fetch_sub(1, std::memory_order_relaxed);
+      release_connection_slot();
     });
     if (!queued) {
-      in_flight_.fetch_sub(1, std::memory_order_relaxed);
+      release_connection_slot();
       if (stopping_.load()) {
         // Pool refused because we are shutting down: close the socket
         // deliberately (peer sees a clean RST/FIN, not a silent leak).
@@ -236,6 +265,25 @@ void MyProxyServer::accept_loop() {
       shed_connection(std::move(*shared), "worker queue full");
     }
   }
+}
+
+bool MyProxyServer::reserve_connection_slot() {
+  const std::size_t current =
+      in_flight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (config_.max_connections != 0 && current > config_.max_connections) {
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+  std::uint64_t peak = stats_.peak_in_flight.load(std::memory_order_relaxed);
+  while (current > peak &&
+         !stats_.peak_in_flight.compare_exchange_weak(
+             peak, current, std::memory_order_relaxed)) {
+  }
+  return true;
+}
+
+void MyProxyServer::release_connection_slot() {
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void MyProxyServer::shed_connection(net::Socket socket,
@@ -322,13 +370,58 @@ pki::VerifiedIdentity MyProxyServer::authenticate_peer(
   return peer;
 }
 
+void MyProxyServer::serve_accepted(std::shared_ptr<tls::TlsChannel> channel,
+                                   std::string raw_request) {
+  try {
+    // The event loop enforced the handshake/request deadlines with timers;
+    // from here the worker uses blocking I/O under the per-request budget,
+    // exactly like the threaded path after its handshake.
+    channel->set_deadlines(config_.request_timeout, config_.request_timeout);
+    pki::VerifiedIdentity peer;
+    try {
+      peer = authenticate_peer(*channel);
+    } catch (const Error& e) {
+      stats_.auth_failures.fetch_add(1, std::memory_order_relaxed);
+      log::warn(kLogComponent, "client authentication failed: {}", e.what());
+      audit_.record({now(), "CONNECT", "", "",
+                     AuditOutcome::kAuthenticationFailure, e.what()});
+      channel->send(Response::make_error("authentication failed")
+                        .serialize());
+      return;
+    }
+    serve_request(*channel, peer, raw_request);
+  } catch (const IoTimeout& e) {
+    stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
+    log::warn(kLogComponent, "connection timed out: {}", e.what());
+  } catch (const std::exception& e) {
+    stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    log::warn(kLogComponent, "connection aborted: {}", e.what());
+  }
+}
+
 void MyProxyServer::serve_channel(net::Channel& channel,
                                   const pki::VerifiedIdentity& peer) {
-  Request request;
+  std::string raw;
   try {
-    request = Request::parse(channel.receive());
+    raw = channel.receive();
   } catch (const IoTimeout&) {
     throw;  // stalled peer: counted in handle_connection, no reply owed
+  } catch (const Error& e) {
+    stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    log::warn(kLogComponent, "bad request from '{}': {}",
+              peer.identity.str(), e.what());
+    channel.send(Response::make_error("malformed request").serialize());
+    return;
+  }
+  serve_request(channel, peer, raw);
+}
+
+void MyProxyServer::serve_request(net::Channel& channel,
+                                  const pki::VerifiedIdentity& peer,
+                                  std::string_view raw_request) {
+  Request request;
+  try {
+    request = Request::parse(raw_request);
   } catch (const Error& e) {
     stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
     log::warn(kLogComponent, "bad request from '{}': {}",
@@ -919,6 +1012,8 @@ void MyProxyServer::handle_stats(net::Channel& channel, const Request&,
   put("PROTOCOL_ERRORS", stats_.protocol_errors.load());
   put("TIMEOUTS", stats_.timeouts.load());
   put("SHED_CONNECTIONS", stats_.shed_connections.load());
+  put("IN_FLIGHT", in_flight_.load(std::memory_order_relaxed));
+  put("PEAK_IN_FLIGHT", stats_.peak_in_flight.load());
   put("FULL_HANDSHAKES", stats_.full_handshakes.load());
   put("RESUMED_HANDSHAKES", stats_.resumed_handshakes.load());
   put("KEYPOOL_HITS", stats_.keypool_hits.load());

@@ -35,6 +35,21 @@
 
 namespace myproxy::server {
 
+class Reactor;
+
+/// Connection I/O model. kThreaded is the original flow: the accept thread
+/// hands each socket to a pool worker that runs the whole connection with
+/// blocking I/O under SO_*TIMEO deadlines — concurrency is capped by
+/// worker_threads. kReactor moves accept, the TLS handshake, and reading
+/// the request onto epoll event loops (non-blocking, timer-enforced
+/// deadlines), so thousands of connections can be in flight while the
+/// ThreadPool runs only crypto-heavy work (chain verification, keygen,
+/// proxy signing) and long-lived REPLICA_SYNC streams.
+enum class IoModel { kThreaded, kReactor };
+
+[[nodiscard]] IoModel io_model_from_string(std::string_view name);
+[[nodiscard]] std::string_view to_string(IoModel model) noexcept;
+
 struct ServerConfig {
   /// TCP port; 0 picks an ephemeral port (tests). The original service ran
   /// on 7512.
@@ -51,6 +66,13 @@ struct ServerConfig {
   gsi::AccessControlList authorized_renewers;
 
   std::size_t worker_threads = 4;
+
+  /// How connections are accepted and read; see IoModel.
+  IoModel io_model = IoModel::kReactor;
+
+  /// Event-loop threads for io_model=reactor (loop 0 owns the listener and
+  /// accepted connections are distributed round-robin).
+  std::size_t reactor_threads = 2;
 
   pki::VerifyOptions verify_options;
 
@@ -139,6 +161,7 @@ struct ServerStats {
   std::atomic<std::uint64_t> protocol_errors{0};
   std::atomic<std::uint64_t> timeouts{0};          ///< connections reaped by deadline
   std::atomic<std::uint64_t> shed_connections{0};  ///< refused at the cap
+  std::atomic<std::uint64_t> peak_in_flight{0};    ///< high-water admitted gauge
 
   // Hot-path instrumentation (keypair pool, TLS resumption).
   std::atomic<std::uint64_t> full_handshakes{0};     ///< fresh TLS handshakes
@@ -198,6 +221,11 @@ class MyProxyServer {
   void serve_channel(net::Channel& channel,
                      const pki::VerifiedIdentity& peer);
 
+  /// In-flight connection gauge (reserved slots), for tests and benches.
+  [[nodiscard]] std::size_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+
   /// Delegation key pool (null when keygen_pool_size == 0); exposed for
   /// stats in tests and benchmarks.
   [[nodiscard]] const crypto::KeyPairPool* key_pool() const {
@@ -214,6 +242,24 @@ class MyProxyServer {
  private:
   void accept_loop();
   void handle_connection(net::Socket socket);
+
+  /// Atomically reserve an in-flight connection slot: a single fetch_add
+  /// claims the slot, and an over-cap claim is rolled back with fetch_sub.
+  /// (A load-then-add pair would let a burst of accepts race past
+  /// max_connections.) Returns false when the cap refused the slot.
+  [[nodiscard]] bool reserve_connection_slot();
+  void release_connection_slot();
+
+  /// Reactor handoff target, run on a pool worker: the event loop has
+  /// already completed the TLS handshake and read `raw_request`; this
+  /// authenticates the peer (chain verification is crypto-heavy and does
+  /// not belong on an event loop) and dispatches the pre-read request.
+  void serve_accepted(std::shared_ptr<tls::TlsChannel> channel,
+                      std::string raw_request);
+
+  /// Parse and dispatch one already-received request.
+  void serve_request(net::Channel& channel, const pki::VerifiedIdentity& peer,
+                     std::string_view raw_request);
 
   /// Fresh delegation key: pooled when possible, synchronous otherwise.
   [[nodiscard]] crypto::KeyPair next_delegation_key();
@@ -279,8 +325,11 @@ class MyProxyServer {
   ServerConfig config_;
   tls::TlsContext tls_context_;
 
+  friend class Reactor;
+
   std::unique_ptr<crypto::KeyPairPool> key_pool_;
   std::unique_ptr<replication::ReplicaSession> replica_session_;
+  std::unique_ptr<Reactor> reactor_;
   std::optional<net::TcpListener> listener_;
   std::uint16_t port_ = 0;
   std::thread accept_thread_;

@@ -1,0 +1,232 @@
+#include "server/reactor.hpp"
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "protocol/message.hpp"
+#include "server/myproxy_server.hpp"
+
+namespace myproxy::server {
+
+namespace {
+
+constexpr std::string_view kLogComponent = "reactor";
+
+}  // namespace
+
+struct Reactor::Connection {
+  MyProxyServer* server = nullptr;
+  std::size_t loop_index = 0;
+  std::unique_ptr<tls::TlsChannel> channel;
+  std::string request;
+
+  enum class State { kHandshake, kRequest };
+  State state = State::kHandshake;
+
+  net::EventLoop::TimerId deadline_timer = 0;
+  bool timer_armed = false;
+  std::uint32_t interest = 0;
+  bool registered = false;
+
+  /// Set when responsibility for the in-flight slot moved to a worker (or
+  /// was released explicitly); otherwise the destructor releases it, so
+  /// every admitted connection releases exactly once on every exit path.
+  bool slot_transferred = false;
+
+  ~Connection() {
+    if (!slot_transferred && server != nullptr) {
+      server->release_connection_slot();
+    }
+  }
+};
+
+Reactor::Reactor(MyProxyServer& server, net::TcpListener& listener,
+                 std::size_t threads)
+    : server_(server), listener_(listener) {
+  const std::size_t count = threads == 0 ? 1 : threads;
+  for (std::size_t i = 0; i < count; ++i) {
+    loops_.push_back(std::make_unique<net::EventLoop>());
+  }
+}
+
+Reactor::~Reactor() { stop(); }
+
+void Reactor::start() {
+  listener_.set_nonblocking(true);
+  loops_[0]->add_fd(listener_.fd(), net::EventLoop::kRead,
+                    [this](std::uint32_t) { on_accept_ready(); });
+  for (auto& loop : loops_) {
+    threads_.emplace_back([raw = loop.get()] { raw->run(); });
+  }
+  log::info(kLogComponent, "reactor running with {} event loop(s)",
+            loops_.size());
+}
+
+void Reactor::stop() {
+  for (auto& loop : loops_) loop->stop();
+  for (auto& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  threads_.clear();
+  // Destroying the loops drops every callback and timer, which drops the
+  // last references to in-flight Connections: sockets close and their
+  // slots release via ~Connection.
+  loops_.clear();
+}
+
+void Reactor::on_accept_ready() {
+  while (true) {
+    std::optional<net::Socket> socket;
+    try {
+      socket = listener_.try_accept();
+    } catch (const IoError&) {
+      return;  // listener shut down
+    }
+    if (!socket.has_value()) return;
+    if (!server_.reserve_connection_slot()) {
+      server_.shed_connection(std::move(*socket), "connection limit reached");
+      continue;
+    }
+    server_.stats_.connections.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t target = next_loop_;
+    next_loop_ = (next_loop_ + 1) % loops_.size();
+    if (target == 0) {
+      begin_connection(0, std::move(*socket));
+    } else {
+      auto shared = std::make_shared<net::Socket>(std::move(*socket));
+      loops_[target]->post([this, target, shared]() mutable {
+        begin_connection(target, std::move(*shared));
+      });
+    }
+  }
+}
+
+void Reactor::begin_connection(std::size_t loop_index, net::Socket socket) {
+  // The Connection owns the admission slot from here on (~Connection
+  // releases it), so any failure below cannot leak the reservation.
+  auto conn = std::make_shared<Connection>();
+  conn->server = &server_;
+  conn->loop_index = loop_index;
+  try {
+    socket.set_nonblocking(true);
+    conn->channel =
+        tls::TlsChannel::accept_async(server_.tls_context_, std::move(socket));
+  } catch (const std::exception& e) {
+    server_.stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    log::warn(kLogComponent, "connection setup failed: {}", e.what());
+    return;
+  }
+  if (server_.config_.handshake_timeout.count() > 0) {
+    conn->deadline_timer = loops_[loop_index]->add_timer(
+        server_.config_.handshake_timeout, [this, conn] {
+          conn->timer_armed = false;
+          server_.stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
+          log::warn(kLogComponent, "connection timed out: TLS handshake "
+                                   "deadline expired");
+          detach(conn);
+        });
+    conn->timer_armed = true;
+  }
+  advance(conn);
+}
+
+void Reactor::advance(const std::shared_ptr<Connection>& conn) {
+  auto& loop = *loops_[conn->loop_index];
+  try {
+    while (true) {
+      tls::IoWant want;
+      if (conn->state == Connection::State::kHandshake) {
+        want = conn->channel->handshake_step();
+        if (want == tls::IoWant::kDone) {
+          conn->state = Connection::State::kRequest;
+          // Handshake done: swap the handshake budget for the per-request
+          // budget (mirrors the blocking path's set_deadlines call).
+          if (conn->timer_armed) {
+            loop.cancel_timer(conn->deadline_timer);
+            conn->timer_armed = false;
+          }
+          if (server_.config_.request_timeout.count() > 0) {
+            conn->deadline_timer = loop.add_timer(
+                server_.config_.request_timeout, [this, conn] {
+                  conn->timer_armed = false;
+                  server_.stats_.timeouts.fetch_add(1,
+                                                    std::memory_order_relaxed);
+                  log::warn(kLogComponent,
+                            "connection timed out: request deadline expired");
+                  detach(conn);
+                });
+            conn->timer_armed = true;
+          }
+          continue;
+        }
+      } else {
+        want = conn->channel->receive_step(conn->request);
+        if (want == tls::IoWant::kDone) {
+          hand_off(conn);
+          return;
+        }
+      }
+      const std::uint32_t interest = want == tls::IoWant::kRead
+                                         ? net::EventLoop::kRead
+                                         : net::EventLoop::kWrite;
+      if (!conn->registered) {
+        loop.add_fd(conn->channel->fd(), interest,
+                    [this, conn](std::uint32_t) { advance(conn); });
+        conn->registered = true;
+        conn->interest = interest;
+      } else if (conn->interest != interest) {
+        loop.mod_fd(conn->channel->fd(), interest);
+        conn->interest = interest;
+      }
+      return;
+    }
+  } catch (const std::exception& e) {
+    // Garbage instead of TLS, a torn connection, or an oversized frame:
+    // count and drop, exactly like the threaded path's catch-all.
+    server_.stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    log::warn(kLogComponent, "connection aborted: {}", e.what());
+    detach(conn);
+  }
+}
+
+void Reactor::detach(const std::shared_ptr<Connection>& conn) {
+  auto& loop = *loops_[conn->loop_index];
+  if (conn->registered) {
+    loop.del_fd(conn->channel->fd());
+    conn->registered = false;
+  }
+  if (conn->timer_armed) {
+    loop.cancel_timer(conn->deadline_timer);
+    conn->timer_armed = false;
+  }
+}
+
+void Reactor::hand_off(const std::shared_ptr<Connection>& conn) {
+  detach(conn);
+  conn->channel->make_blocking();
+  std::shared_ptr<tls::TlsChannel> channel(std::move(conn->channel));
+  conn->slot_transferred = true;
+
+  const bool queued = server_.pool_->try_submit(
+      [srv = &server_, channel, request = std::move(conn->request)]() mutable {
+        srv->serve_accepted(std::move(channel), std::move(request));
+        srv->release_connection_slot();
+      });
+  if (!queued) {
+    server_.release_connection_slot();
+    server_.stats_.shed_connections.fetch_add(1, std::memory_order_relaxed);
+    log::warn(kLogComponent, "shedding connection: worker queue full");
+    try {
+      // Unlike the threaded path (which sheds before TLS), the handshake is
+      // complete here, so the busy note can travel framed over TLS. The
+      // short deadline keeps a stalled peer from pinning the event loop.
+      channel->set_deadlines(Millis(100), Millis(100));
+      channel->send(protocol::Response::make_error("server busy, try again")
+                        .serialize());
+    } catch (const std::exception&) {
+      // Best-effort, as in the threaded shed path.
+    }
+    channel->close();
+  }
+}
+
+}  // namespace myproxy::server

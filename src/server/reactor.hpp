@@ -1,0 +1,75 @@
+// Event-driven connection front end for the MyProxy server
+// (io_model=reactor).
+//
+// The reactor owns the phases of a connection that an attacker can make
+// arbitrarily slow — accept, the TLS handshake, and reading the framed
+// request — and runs them non-blocking on a small set of epoll event
+// loops, so ten thousand idle or dribbling connections cost file
+// descriptors and a few KB of state instead of pinned worker threads.
+// Once a complete request is in hand, the socket is flipped back to
+// blocking mode (with the per-request SO_*TIMEO deadlines) and the
+// connection is handed to the ThreadPool, which runs everything
+// crypto-heavy — GSI chain verification, keygen, proxy signing — and the
+// long-lived REPLICA_SYNC streams, exactly as in the threaded model.
+//
+// Deadlines are event-loop timers here (one per connection): the
+// handshake_timeout budget covers accept → handshake completion, and the
+// request_timeout budget covers reading the request. A fired timer closes
+// the connection and counts a ServerStats timeout, mirroring the blocking
+// path's SO_RCVTIMEO behaviour.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/event_loop.hpp"
+#include "net/socket.hpp"
+#include "tls/tls_channel.hpp"
+
+namespace myproxy::server {
+
+class MyProxyServer;
+
+class Reactor {
+ public:
+  /// `threads` event loops; loop 0 additionally owns the (non-blocking)
+  /// listener. The listener and server must outlive the reactor.
+  Reactor(MyProxyServer& server, net::TcpListener& listener,
+          std::size_t threads);
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  void start();
+  void stop();
+
+ private:
+  /// Per-connection state machine: handshake → read request → hand off.
+  struct Connection;
+
+  void on_accept_ready();
+  void begin_connection(std::size_t loop_index, net::Socket socket);
+
+  /// Drive the connection as far as readiness allows, then re-arm epoll
+  /// interest for whatever the TLS layer wants next.
+  void advance(const std::shared_ptr<Connection>& conn);
+
+  /// Remove the connection from its loop (deregister fd, cancel timer).
+  /// The in-flight slot is released by ~Connection unless the connection
+  /// was handed off to a worker.
+  void detach(const std::shared_ptr<Connection>& conn);
+
+  void hand_off(const std::shared_ptr<Connection>& conn);
+
+  MyProxyServer& server_;
+  net::TcpListener& listener_;
+  std::vector<std::unique_ptr<net::EventLoop>> loops_;
+  std::vector<std::thread> threads_;
+  std::size_t next_loop_ = 0;
+};
+
+}  // namespace myproxy::server

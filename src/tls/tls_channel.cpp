@@ -8,6 +8,7 @@
 #include "common/format.hpp"
 #include "crypto/openssl_util.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <csignal>
 #include <mutex>
@@ -162,6 +163,13 @@ struct TlsChannel::Impl {
   /// Appdata recovered from the ticket the peer resumed with.
   std::optional<std::string> ticket_appdata_in;
 
+  // Incremental-receive state (receive_step on the reactor path): bytes
+  // accumulated toward the current header or body, and the body size once
+  // the header has been decoded.
+  std::string rx_buffer;
+  std::size_t rx_body_size = 0;
+  bool rx_have_header = false;
+
   ~Impl() {
     if (ssl != nullptr) SSL_free(ssl);
   }
@@ -215,7 +223,12 @@ SSL_TICKET_RETURN ticket_decrypt_callback(SSL* ssl, SSL_SESSION* session,
 
 }  // namespace
 
-TlsChannel::TlsChannel(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {
+TlsChannel::TlsChannel(std::unique_ptr<Impl> impl, bool handshake_done)
+    : impl_(std::move(impl)) {
+  if (handshake_done) collect_peer_chain();
+}
+
+void TlsChannel::collect_peer_chain() {
   // Collect the peer chain, leaf first. A missing certificate is legal
   // only when the context was built with PeerAuth::kNone (the TLS
   // handshake itself enforces kRequired); peer_chain() stays empty then.
@@ -254,8 +267,79 @@ std::unique_ptr<TlsChannel> TlsChannel::accept(
   crypto::check(SSL_set_fd(impl->ssl, impl->socket.fd()), "SSL_set_fd");
   const int rc = SSL_accept(impl->ssl);
   if (rc != 1) throw_ssl("TLS accept handshake failed", impl->ssl, rc);
-  return std::unique_ptr<TlsChannel>(new TlsChannel(std::move(impl)));
+  return std::unique_ptr<TlsChannel>(new TlsChannel(std::move(impl), true));
 }
+
+std::unique_ptr<TlsChannel> TlsChannel::accept_async(const TlsContext& context,
+                                                     net::Socket socket) {
+  auto impl = std::make_unique<Impl>();
+  impl->socket = std::move(socket);
+  impl->ssl = crypto::check_ptr(SSL_new(context.native()), "SSL_new");
+  crypto::check(SSL_set_ex_data(impl->ssl, impl_ex_data_index(), impl.get()),
+                "SSL_set_ex_data");
+  crypto::check(SSL_set_fd(impl->ssl, impl->socket.fd()), "SSL_set_fd");
+  SSL_set_accept_state(impl->ssl);
+  return std::unique_ptr<TlsChannel>(new TlsChannel(std::move(impl), false));
+}
+
+IoWant TlsChannel::handshake_step() {
+  const int rc = SSL_do_handshake(impl_->ssl);
+  if (rc == 1) {
+    collect_peer_chain();
+    return IoWant::kDone;
+  }
+  const int err = SSL_get_error(impl_->ssl, rc);
+  if (err == SSL_ERROR_WANT_READ) return IoWant::kRead;
+  if (err == SSL_ERROR_WANT_WRITE) return IoWant::kWrite;
+  const std::string queued = crypto::drain_error_queue();
+  throw IoError(fmt::format(
+      "TLS handshake failed: ssl_error={} ({})", err, queued));
+}
+
+IoWant TlsChannel::receive_step(std::string& out) {
+  auto& im = *impl_;
+  while (true) {
+    const std::size_t target = im.rx_have_header ? im.rx_body_size : 4;
+    while (im.rx_buffer.size() < target) {
+      char chunk[4096];
+      // Never read past the current frame boundary: a blocking receive()
+      // issued by a worker after the handoff must see an intact stream.
+      const std::size_t want =
+          std::min(sizeof(chunk), target - im.rx_buffer.size());
+      const int r = SSL_read(im.ssl, chunk, static_cast<int>(want));
+      if (r <= 0) {
+        const int err = SSL_get_error(im.ssl, r);
+        if (err == SSL_ERROR_WANT_READ) return IoWant::kRead;
+        if (err == SSL_ERROR_WANT_WRITE) return IoWant::kWrite;
+        const std::string queued = crypto::drain_error_queue();
+        throw IoError(fmt::format(
+            "SSL_read failed: ssl_error={} ({})", err, queued));
+      }
+      im.rx_buffer.append(chunk, static_cast<std::size_t>(r));
+    }
+    if (!im.rx_have_header) {
+      im.rx_body_size = net::decode_frame_header(im.rx_buffer);
+      im.rx_buffer.clear();
+      im.rx_have_header = true;
+      if (im.rx_body_size == 0) {
+        im.rx_have_header = false;
+        out.clear();
+        return IoWant::kDone;
+      }
+      im.rx_buffer.reserve(im.rx_body_size);
+      continue;
+    }
+    out = std::move(im.rx_buffer);
+    im.rx_buffer.clear();
+    im.rx_have_header = false;
+    im.rx_body_size = 0;
+    return IoWant::kDone;
+  }
+}
+
+int TlsChannel::fd() const noexcept { return impl_->socket.fd(); }
+
+void TlsChannel::make_blocking() { impl_->socket.set_nonblocking(false); }
 
 std::unique_ptr<TlsChannel> TlsChannel::connect(
     const TlsContext& context, net::Socket socket,
@@ -275,7 +359,7 @@ std::unique_ptr<TlsChannel> TlsChannel::connect(
   }
   const int rc = SSL_connect(impl->ssl);
   if (rc != 1) throw_ssl("TLS connect handshake failed", impl->ssl, rc);
-  return std::unique_ptr<TlsChannel>(new TlsChannel(std::move(impl)));
+  return std::unique_ptr<TlsChannel>(new TlsChannel(std::move(impl), true));
 }
 
 void TlsChannel::set_deadlines(std::chrono::milliseconds read,

@@ -90,6 +90,11 @@ class TlsContext {
   std::shared_ptr<SSL_CTX> ctx_;
 };
 
+/// Progress of an incremental TLS operation on a non-blocking socket:
+/// finished, or waiting for the socket to become readable / writable (the
+/// reactor maps these onto epoll interest).
+enum class IoWant { kDone, kRead, kWrite };
+
 /// One TLS connection, implementing the framed message Channel.
 class TlsChannel final : public net::Channel {
  public:
@@ -111,6 +116,34 @@ class TlsChannel final : public net::Channel {
       const TlsContext& context, net::Socket socket,
       std::chrono::milliseconds handshake_timeout = {},
       const TlsSession* resume = nullptr);
+
+  /// Begin an accepting-side handshake WITHOUT running it: wraps `socket`
+  /// (which the caller has made non-blocking) and prepares the TLS state.
+  /// Drive the handshake to completion with handshake_step(); peer_chain()
+  /// is populated only once that returns IoWant::kDone.
+  static std::unique_ptr<TlsChannel> accept_async(const TlsContext& context,
+                                                  net::Socket socket);
+
+  /// Advance a non-blocking handshake by one step. kDone means the
+  /// handshake finished (peer chain collected); kRead/kWrite mean the
+  /// caller must wait for that readiness and call again. Throws IoError on
+  /// handshake failure — never IoTimeout (deadlines are the caller's timer).
+  [[nodiscard]] IoWant handshake_step();
+
+  /// Incrementally receive one framed message on a non-blocking socket.
+  /// kDone: `out` holds the complete message. kRead/kWrite: wait for that
+  /// readiness and call again (partial input is buffered internally).
+  /// Reads never cross a frame boundary, so switching back to blocking
+  /// receive() after kDone sees a clean stream.
+  [[nodiscard]] IoWant receive_step(std::string& out);
+
+  /// Underlying descriptor, for event-loop registration.
+  [[nodiscard]] int fd() const noexcept;
+
+  /// Flip the underlying socket back to blocking mode — the reactor hands
+  /// the connection to a worker thread once the request has been read, and
+  /// the worker path uses blocking I/O with SO_*TIMEO deadlines.
+  void make_blocking();
 
   /// Re-arm the underlying socket deadlines (e.g. switch from handshake to
   /// per-request budgets). Zero clears a deadline.
@@ -163,7 +196,11 @@ class TlsChannel final : public net::Channel {
   struct Impl;
 
  private:
-  explicit TlsChannel(std::unique_ptr<Impl> impl);
+  /// `handshake_done`: collect the peer chain now (blocking accept/connect
+  /// paths) or defer until handshake_step() completes (async path).
+  TlsChannel(std::unique_ptr<Impl> impl, bool handshake_done);
+
+  void collect_peer_chain();
 
   std::unique_ptr<Impl> impl_;
   std::vector<pki::Certificate> peer_chain_;

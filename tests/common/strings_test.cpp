@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
 namespace myproxy::strings {
 namespace {
 
@@ -47,6 +50,40 @@ TEST(IsAllDigits, Basics) {
   EXPECT_FALSE(is_all_digits(""));
   EXPECT_FALSE(is_all_digits("12a"));
   EXPECT_FALSE(is_all_digits("-12"));
+}
+
+TEST(ParseU64, AcceptsOnlyFullWidthDigits) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("007"), 7u);
+  EXPECT_EQ(parse_u64("18446744073709551615"),
+            std::numeric_limits<std::uint64_t>::max());
+  // A lenient stoul would happily return 12 for "12abc" and wrap "-3";
+  // every wire/ticket/store parse site must reject junk outright.
+  EXPECT_FALSE(parse_u64("12abc").has_value());
+  EXPECT_FALSE(parse_u64("-3").has_value());
+  EXPECT_FALSE(parse_u64("+5").has_value());
+  EXPECT_FALSE(parse_u64("").has_value());
+  EXPECT_FALSE(parse_u64(" 7").has_value());
+  EXPECT_FALSE(parse_u64("7 ").has_value());
+  EXPECT_FALSE(parse_u64("0x10").has_value());
+  EXPECT_FALSE(parse_u64("18446744073709551616").has_value());  // overflow
+}
+
+TEST(ParseI64, AllowsOneLeadingMinusOnly) {
+  EXPECT_EQ(parse_i64("42"), 42);
+  EXPECT_EQ(parse_i64("-42"), -42);
+  EXPECT_EQ(parse_i64("0"), 0);
+  EXPECT_EQ(parse_i64("9223372036854775807"),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(parse_i64("-9223372036854775808"),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_FALSE(parse_i64("").has_value());
+  EXPECT_FALSE(parse_i64("-").has_value());
+  EXPECT_FALSE(parse_i64("--3").has_value());
+  EXPECT_FALSE(parse_i64("+42").has_value());
+  EXPECT_FALSE(parse_i64("12abc").has_value());
+  EXPECT_FALSE(parse_i64("-12abc").has_value());
+  EXPECT_FALSE(parse_i64("9223372036854775808").has_value());  // overflow
 }
 
 TEST(ConstantTimeEquals, MatchesSemantics) {

@@ -268,6 +268,59 @@ TEST(ConnectionCap, ExcessConnectionsAreShedWithBusyResponse) {
   server.stop();
 }
 
+class ConnectionCapBurst
+    : public ::testing::TestWithParam<server::IoModel> {};
+
+TEST_P(ConnectionCapBurst, SimultaneousConnectsNeverExceedTheCap) {
+  repository::RepositoryPolicy policy;
+  policy.kdf_iterations = 100;
+  auto repo = std::make_shared<repository::Repository>(
+      std::make_unique<repository::MemoryCredentialStore>(), policy);
+  server::ServerConfig config;
+  config.accepted_credentials.add("*");
+  config.authorized_retrievers.add("*");
+  config.worker_threads = 2;
+  config.max_connections = 4;
+  config.handshake_timeout = Millis(500);
+  config.io_model = GetParam();
+  server::MyProxyServer server(make_host("fi-burst-myproxy"),
+                               make_trust_store(), repo, config);
+  server.start();
+
+  // A stampede of simultaneous silent connects. Admission used to read
+  // in_flight_ first and increment it later, so a burst arriving between
+  // the two could race every member past the cap; the reservation must be
+  // a single atomic claim. peak_in_flight records the high-water mark of
+  // *reserved* slots, so any overshoot is visible even if transient.
+  constexpr int kBurst = 24;
+  std::vector<std::thread> threads;
+  threads.reserve(kBurst);
+  for (int i = 0; i < kBurst; ++i) {
+    threads.emplace_back([&server] {
+      try {
+        net::Socket socket = net::tcp_connect(server.port());
+        // Stay silent so admitted connections remain in flight until the
+        // handshake deadline reaps them.
+        std::this_thread::sleep_for(std::chrono::milliseconds(700));
+        socket.close();
+      } catch (const std::exception&) {
+        // Refused/reset connections are fine; the cap is what matters.
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_LE(server.stats().peak_in_flight.load(), 4u);
+  EXPECT_GE(server.stats().shed_connections.load(), 1u);
+  server.stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    IoModels, ConnectionCapBurst,
+    ::testing::Values(server::IoModel::kThreaded, server::IoModel::kReactor),
+    [](const ::testing::TestParamInfo<server::IoModel>& info) {
+      return std::string(server::to_string(info.param));
+    });
+
 TEST(ClientRetry, SucceedsAfterServerComesBack) {
   const auto host = make_host("fi-retry-myproxy");
   repository::RepositoryPolicy policy;

@@ -178,29 +178,32 @@ TEST_F(ReplicationE2ETest, LiveTailAppliesWritesMadeAfterConnect) {
   EXPECT_EQ(portal.get("alice2", kPhrase).identity(), alice.identity());
 }
 
-TEST_F(ReplicationE2ETest, ReplicaRefusesWritesAndNamesThePrimary) {
+TEST_F(ReplicationE2ETest, WritesSentToReplicaFollowThePrimaryRedirect) {
   const auto alice = make_user("repl-ro-alice");
   put_credential(alice, "alice");
   start_replica();
   wait_for_catchup();
 
+  // A client that only knows the replica sends a write there; the replica
+  // refuses it (read-only) with a redirect naming the primary, and the
+  // client follows the hint once — so the write lands on the primary
+  // instead of surfacing ReplicaRedirect to the caller. (This used to
+  // throw: the redirect port was parsed but never dialled.)
   const auto proxy = gsi::create_proxy(alice);
   auto direct = client_for(proxy, {replica_->port()});
-  try {
-    direct.put("alice", kPhrase, proxy);
-    FAIL() << "replica accepted a write";
-  } catch (const ReplicaRedirect& e) {
-    EXPECT_EQ(e.primary_port(), primary_->port());
-    EXPECT_NE(std::string(e.what()).find("read-only"), std::string::npos);
-  }
-  EXPECT_THROW(direct.destroy("alice"), ReplicaRedirect);
+  direct.put("alice", kPhrase, proxy);
+  EXPECT_GE(replica_->stats().repl_redirects.load(), 1u);
+  EXPECT_EQ(journal_->last_sequence(), 2u);
+
+  direct.destroy("alice");
   EXPECT_GE(replica_->stats().repl_redirects.load(), 2u);
+  EXPECT_EQ(journal_->last_sequence(), 3u);
 
   // The multi-endpoint client routes the same write to the primary even
-  // with the replica listed.
+  // with the replica listed — no redirect round-trip needed.
   auto failover = client_for(proxy, {primary_->port(), replica_->port()});
   failover.put("alice", kPhrase, proxy);
-  EXPECT_EQ(journal_->last_sequence(), 2u);
+  EXPECT_EQ(journal_->last_sequence(), 4u);
 }
 
 TEST_F(ReplicationE2ETest, ReadsFailOverToReplicaWhenPrimaryDies) {

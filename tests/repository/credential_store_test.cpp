@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "common/strings.hpp"
 
 namespace myproxy::repository {
 namespace {
@@ -76,6 +77,37 @@ TEST(CredentialRecord, ParseRejectsMalformed) {
   std::string text = record.serialize();
   text += "otp_current deadbeef\n";
   EXPECT_THROW(CredentialRecord::parse(text), ParseError);
+}
+
+TEST(CredentialRecord, ParseRejectsJunkNumericFields) {
+  // Numeric fields used to be parsed with stoll/stoul, which accept
+  // "12abc" (and a stray sign for unsigned fields) — a corrupted on-disk
+  // record would round-trip into a bogus expiry instead of failing loudly.
+  const std::string good = make_record("alice").serialize();
+  const auto corrupt = [&](std::string_view key, std::string_view value) {
+    std::string text;
+    for (const auto& line : strings::split(good, '\n')) {
+      if (line.starts_with(key)) {
+        text += std::string(key) + " " + std::string(value) + "\n";
+      } else if (!line.empty()) {
+        text += line + "\n";
+      }
+    }
+    return text;
+  };
+  EXPECT_THROW(CredentialRecord::parse(corrupt("not_after", "12abc")),
+               ParseError);
+  EXPECT_THROW(CredentialRecord::parse(corrupt("created_at", "17 54")),
+               ParseError);
+  EXPECT_THROW(
+      CredentialRecord::parse(corrupt("max_delegation_lifetime", "+600")),
+      ParseError);
+  // Negative remaining-uses would wrap under stoul; it must be refused.
+  std::string with_otp = good;
+  with_otp += "otp_current deadbeef\notp_remaining -3\n";
+  EXPECT_THROW(CredentialRecord::parse(with_otp), ParseError);
+  // Control: the unmodified record still parses.
+  EXPECT_NO_THROW(CredentialRecord::parse(good));
 }
 
 template <typename StoreT>
