@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
 # Build Release, run the Figure 2 retrieval benchmarks, the store-scale
-# benchmark, the replication benchmark, and the connection-concurrency
-# benchmark, and record BENCH_fig2_get.json, BENCH_store_scale.json,
-# BENCH_replication.json, and BENCH_concurrency.json at the repo root.
+# benchmark, the replication benchmark, the connection-concurrency
+# benchmark, and the admission soak, and record BENCH_fig2_get.json,
+# BENCH_store_scale.json, BENCH_replication.json, BENCH_concurrency.json,
+# and BENCH_soak.json at the repo root.
 #
 # Usage: bench/run_bench.sh [--quick]
 #   --quick  fewer iterations/records and no latency gates (the ctest
 #            smokes use the same mode); full runs enforce the >=2x p50
 #            retrieval gate, the store-scale speedup/sublinearity gates,
-#            the replication lag/failover gates, and the reactor's
-#            5000-connection sustain + p99 budget gates.
+#            the replication lag/failover gates, the reactor's
+#            5000-connection sustain + p99 budget gates, and the soak's
+#            polite-tenant zero-shed + 2x p99 isolation gates.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -24,7 +26,7 @@ fi
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${build_dir}" -j "$(nproc)" \
   --target bench_fig2_get bench_hotpath bench_store_scale bench_replication \
-           bench_concurrency
+           bench_concurrency bench_soak
 
 # Google-benchmark series (baseline vs fast path per key spec), embedded
 # verbatim into the final JSON by bench_hotpath.
@@ -54,3 +56,8 @@ echo "Recorded ${repo_root}/BENCH_replication.json"
   --out "${repo_root}/BENCH_concurrency.json"
 
 echo "Recorded ${repo_root}/BENCH_concurrency.json"
+
+"${build_dir}/bench/bench_soak" "${mode_flags[@]}" \
+  --out "${repo_root}/BENCH_soak.json"
+
+echo "Recorded ${repo_root}/BENCH_soak.json"

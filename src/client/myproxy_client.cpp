@@ -74,7 +74,7 @@ auto MyProxyClient::run_op(OpKind kind, Fn&& fn)
   for (std::size_t i = 0; i < order.size(); ++i) {
     const bool last = i + 1 == order.size();
     try {
-      return fn(order[i]);
+      return run_with_busy_retry(fn, order[i]);
     } catch (const ReplicaRedirect& e) {
       // A write landed on a replica (the configured "primary" endpoint was
       // demoted, or the list simply starts with a replica). The refusal
@@ -88,7 +88,7 @@ auto MyProxyClient::run_op(OpKind kind, Fn&& fn)
                     "endpoint {} is a replica; following redirect to "
                     "primary {}",
                     order[i], hint);
-          return fn(hint);
+          return run_with_busy_retry(fn, hint);
         }
         throw;
       }
@@ -108,6 +108,30 @@ auto MyProxyClient::run_op(OpKind kind, Fn&& fn)
     }
   }
   throw IoError("no repository endpoint configured");  // unreachable
+}
+
+template <typename Fn>
+auto MyProxyClient::run_with_busy_retry(Fn&& fn, std::uint16_t port)
+    -> decltype(fn(std::uint16_t{})) {
+  const int attempts = std::max(1, retry_policy_.max_attempts);
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return fn(port);
+    } catch (const ServerBusy& e) {
+      if (attempt >= attempts) throw;
+      // An admission shed happens before the command runs, so retrying the
+      // whole operation cannot replay a half-finished command — even for
+      // writes. Respect the server's pacing hint but never sleep less than
+      // our own (jittered) backoff, so shed clients do not stampede back.
+      const Millis delay =
+          std::max(backoff_for_attempt(attempt), e.retry_after());
+      log::warn(kLogComponent,
+                "repository on port {} is busy (attempt {}/{}); retrying "
+                "in {} ms",
+                port, attempt, attempts, delay.count());
+      std::this_thread::sleep_for(delay);
+    }
+  }
 }
 
 std::unique_ptr<tls::TlsChannel> MyProxyClient::connect_once(
@@ -211,6 +235,20 @@ Response MyProxyClient::transact(tls::TlsChannel& channel,
   if (!response.ok()) {
     const std::string message = fmt::format(
         "server refused {}: {}", to_string(request.command), response.error);
+    const auto busy = response.fields.find("BUSY");
+    if (busy != response.fields.end()) {
+      // Admission shed with a pacing hint. The hint is clamped so a
+      // misbehaving server cannot park the client for minutes.
+      Millis retry_after{0};
+      const auto hint = response.fields.find("RETRY_AFTER_MS");
+      if (hint != response.fields.end()) {
+        const auto parsed = strings::parse_u64(hint->second);
+        if (parsed.has_value() && *parsed <= 60'000) {
+          retry_after = Millis(static_cast<std::int64_t>(*parsed));
+        }
+      }
+      throw ServerBusy(retry_after, message);
+    }
     const auto primary = response.fields.find("PRIMARY");
     if (primary != response.fields.end()) {
       // Strict parse; an unparseable or out-of-range hint degrades to 0

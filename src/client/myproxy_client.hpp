@@ -114,6 +114,21 @@ class ReplicaRedirect : public Error {
   std::uint16_t primary_port_;
 };
 
+/// The server shed this request at admission (per-identity rate limit or
+/// fair-queue pressure) and hinted when to retry. run_op honors the hint:
+/// it sleeps the larger of the hint and its own backoff, then retries the
+/// same endpoint, up to RetryPolicy::max_attempts tries.
+class ServerBusy : public Error {
+ public:
+  ServerBusy(Millis retry_after, const std::string& message)
+      : Error(ErrorCode::kPolicy, message), retry_after_(retry_after) {}
+
+  [[nodiscard]] Millis retry_after() const noexcept { return retry_after_; }
+
+ private:
+  Millis retry_after_;
+};
+
 class MyProxyClient {
  public:
   /// `credential`: this client's own Grid credential for the mutual TLS
@@ -245,6 +260,12 @@ class MyProxyClient {
   /// move to the next endpoint; everything else propagates unchanged.
   template <typename Fn>
   auto run_op(OpKind kind, Fn&& fn) -> decltype(fn(std::uint16_t{}));
+
+  /// Run `fn(port)` against one endpoint, retrying ServerBusy refusals
+  /// after sleeping max(own backoff, server retry-after hint).
+  template <typename Fn>
+  auto run_with_busy_retry(Fn&& fn, std::uint16_t port)
+      -> decltype(fn(std::uint16_t{}));
 
   /// Open a connection to `port`, run the TLS handshake, authenticate the
   /// server. Transient transport failures (refused, timed out, handshake

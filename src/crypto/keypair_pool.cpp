@@ -36,14 +36,15 @@ KeyPair KeyPairPool::acquire(bool* from_pool) {
     if (!ready_.empty()) {
       KeyPair key = std::move(ready_.front());
       ready_.pop_front();
-      ++stats_.hits;
+      ready_count_.store(ready_.size(), std::memory_order_relaxed);
+      hits_.fetch_add(1, std::memory_order_relaxed);
       schedule_refill_locked();
       if (from_pool != nullptr) *from_pool = true;
       return key;
     }
-    ++stats_.misses;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     if (target_size_ > 0) {
-      ++stats_.drained;
+      drained_.fetch_add(1, std::memory_order_relaxed);
       schedule_refill_locked();
     }
   }
@@ -61,7 +62,10 @@ void KeyPairPool::prefill(std::size_t count) {
     }
     KeyPair key = KeyPair::generate(spec_);
     const std::scoped_lock lock(mutex_);
-    if (ready_.size() < target_size_) ready_.push_back(std::move(key));
+    if (ready_.size() < target_size_) {
+      ready_.push_back(std::move(key));
+      ready_count_.store(ready_.size(), std::memory_order_relaxed);
+    }
   }
 }
 
@@ -72,13 +76,16 @@ void KeyPairPool::set_refill_enabled(bool enabled) {
 }
 
 std::size_t KeyPairPool::available() const {
-  const std::scoped_lock lock(mutex_);
-  return ready_.size();
+  return ready_count_.load(std::memory_order_relaxed);
 }
 
 KeyPairPool::Stats KeyPairPool::stats() const {
-  const std::scoped_lock lock(mutex_);
-  return stats_;
+  Stats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.drained = drained_.load(std::memory_order_relaxed);
+  out.generated = generated_.load(std::memory_order_relaxed);
+  return out;
 }
 
 void KeyPairPool::schedule_refill_locked() {
@@ -102,7 +109,8 @@ void KeyPairPool::refill_task() {
   --refills_in_flight_;
   if (stopping_ || ready_.size() >= target_size_) return;
   ready_.push_back(std::move(key));
-  ++stats_.generated;
+  ready_count_.store(ready_.size(), std::memory_order_relaxed);
+  generated_.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace myproxy::crypto

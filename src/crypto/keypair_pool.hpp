@@ -12,6 +12,7 @@
 // exactly once. Pre-generation changes *when* a key is made, not *how*.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -29,6 +30,9 @@ namespace myproxy::crypto {
 
 class KeyPairPool {
  public:
+  /// Value snapshot of the pool counters. The counters themselves live in
+  /// atomics so the /metrics scrape path reads them without touching the
+  /// pool mutex (which serializes against refill bookkeeping).
   struct Stats {
     std::uint64_t hits = 0;       ///< acquire() served from the pool
     std::uint64_t misses = 0;     ///< acquire() fell back to synchronous gen
@@ -82,7 +86,14 @@ class KeyPairPool {
   std::size_t refills_in_flight_ = 0;
   bool refill_enabled_ = true;
   bool stopping_ = false;
-  Stats stats_;
+
+  // Lock-free counters (relaxed): stats()/available() never block acquire
+  // or refill, so a metrics scrape cannot stall the delegation hot path.
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> drained_{0};
+  std::atomic<std::uint64_t> generated_{0};
+  std::atomic<std::size_t> ready_count_{0};
 
   /// Last member: destroyed (joined) first, so refill_task never touches a
   /// destructed pool.

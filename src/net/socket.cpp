@@ -123,6 +123,32 @@ void Socket::shutdown_send() noexcept {
   if (valid()) ::shutdown(fd_, SHUT_WR);
 }
 
+std::string peer_address_of(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getpeername(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0 ||
+      addr.sin_family != AF_INET) {
+    return {};
+  }
+  char text[INET_ADDRSTRLEN] = {};
+  if (::inet_ntop(AF_INET, &addr.sin_addr, text, sizeof(text)) == nullptr) {
+    return {};
+  }
+  return text;
+}
+
+std::string Socket::peer_address() const {
+  if (!valid()) return {};
+  return peer_address_of(fd_);
+}
+
+bool is_loopback_address(std::string_view address) {
+  in_addr parsed{};
+  const std::string text(address);
+  if (::inet_pton(AF_INET, text.c_str(), &parsed) != 1) return false;
+  return (ntohl(parsed.s_addr) >> 24) == 127;
+}
+
 void Socket::close() noexcept {
   if (valid()) {
     ::close(fd_);
@@ -139,6 +165,10 @@ std::pair<Socket, Socket> socket_pair() {
 }
 
 TcpListener TcpListener::bind(std::uint16_t port) {
+  return bind(port, "127.0.0.1");
+}
+
+TcpListener TcpListener::bind(std::uint16_t port, std::string_view address) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw_errno("socket");
   Socket socket(fd);
@@ -150,7 +180,10 @@ TcpListener TcpListener::bind(std::uint16_t port) {
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  const std::string address_text(address);
+  if (::inet_pton(AF_INET, address_text.c_str(), &addr.sin_addr) != 1) {
+    throw IoError(fmt::format("unparseable bind address '{}'", address));
+  }
   addr.sin_port = htons(port);
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     throw_errno("bind");

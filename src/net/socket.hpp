@@ -64,6 +64,11 @@ class Socket {
   /// Shut down writing (sends FIN) without closing the descriptor.
   void shutdown_send() noexcept;
 
+  /// Dotted-quad address of the connected peer ("127.0.0.1"); empty for
+  /// non-INET sockets (e.g. socket_pair test transports). The pre-auth
+  /// admission gate buckets by this string.
+  [[nodiscard]] std::string peer_address() const;
+
   void close() noexcept;
 
   /// Release ownership of the descriptor.
@@ -76,11 +81,23 @@ class Socket {
 /// Connected AF_UNIX pair — in-process transport for tests and benchmarks.
 [[nodiscard]] std::pair<Socket, Socket> socket_pair();
 
+/// Dotted-quad peer address of a connected INET descriptor; empty when the
+/// descriptor is not an INET socket. Free-function form for callers that
+/// hold only an fd (the reactor's TLS channels).
+[[nodiscard]] std::string peer_address_of(int fd);
+
+/// True when `address` parses as an IPv4 loopback address (127.0.0.0/8).
+[[nodiscard]] bool is_loopback_address(std::string_view address);
+
 /// Listening TCP socket on 127.0.0.1.
 class TcpListener {
  public:
-  /// Bind to `port` (0 = ephemeral) and listen.
+  /// Bind to 127.0.0.1:`port` (0 = ephemeral) and listen.
   static TcpListener bind(std::uint16_t port);
+
+  /// Bind to `address`:`port` — the metrics endpoint's opt-in non-loopback
+  /// form. Throws IoError on an unparseable address.
+  static TcpListener bind(std::uint16_t port, std::string_view address);
 
   TcpListener(TcpListener&&) = default;
   TcpListener& operator=(TcpListener&&) = default;

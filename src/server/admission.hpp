@@ -1,0 +1,259 @@
+// Per-identity admission control in front of the crypto dispatch (traffic
+// hygiene for the paper's §3 deployment model: many portals fanning out
+// requests against one repository).
+//
+// Two gates, consulted at different points of a connection's life:
+//
+//   * Pre-auth (peer IP address): a token bucket per client address,
+//     consulted before a worker is committed — in the threaded accept loop
+//     before the TLS handshake, and in the reactor's hand_off before
+//     try_submit. Defends the handshake/crypto budget against a single
+//     hostile host. Off by default (preauth_rate_limit_rps == 0): a NAT'd
+//     portal farm shares one address, so this knob is deliberately
+//     separate from the per-DN limits.
+//
+//   * Post-auth (authenticated DN): a token bucket per identity plus a
+//     weighted fair queue over the dispatch capacity, consulted in
+//     serve_request once GSI authentication has named the caller. An
+//     over-limit request receives a framed busy reply carrying
+//     BUSY=1 / RETRY_AFTER_MS=<n> instead of occupying a worker; the
+//     client's RetryPolicy honours the hint.
+//
+// Limits hot-reload via AdmissionController::set_limits (driven by the
+// server's SIGHUP config re-read) without touching established TLS
+// sessions: only the next admission decision sees the new numbers.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/clock.hpp"
+
+namespace myproxy {
+class Config;
+}
+
+namespace myproxy::server {
+
+struct AdmissionLimits {
+  /// Steady-state requests/second allowed per authenticated DN.
+  /// 0 disables per-identity rate limiting.
+  double rate_limit_rps = 0.0;
+
+  /// Bucket depth: how far a quiet identity may burst above the steady
+  /// rate. 0 derives max(1, rate_limit_rps).
+  double rate_limit_burst = 0.0;
+
+  /// Hard cap on requests one identity may have queued + in dispatch at
+  /// once, regardless of fair share. 0 = unlimited.
+  std::size_t max_queued_per_identity = 0;
+
+  /// Total dispatch slots the fair queue arbitrates (normally
+  /// worker_threads + max_pending_connections, wired by the server).
+  /// 0 = unlimited (only the per-identity caps apply).
+  std::size_t queue_capacity = 0;
+
+  /// Pre-auth per-peer-address token bucket, consulted before a worker or
+  /// TLS handshake is spent on the connection. 0 disables (default: every
+  /// loopback/test client shares one address).
+  double preauth_rate_limit_rps = 0.0;
+  double preauth_rate_limit_burst = 0.0;
+};
+
+/// Read admission keys (rate_limit_rps, rate_limit_burst,
+/// max_queued_per_identity, preauth_rate_limit_rps,
+/// preauth_rate_limit_burst) from a parsed config file. Keys are optional;
+/// malformed numbers throw ConfigError. queue_capacity is not a file key —
+/// the server derives it from its pool geometry.
+[[nodiscard]] AdmissionLimits admission_limits_from_config(
+    const Config& config);
+
+/// Thread-safe token bucket with an externally supplied clock, so refill
+/// math at exact boundary timestamps is unit-testable. rate == 0 means
+/// unlimited (every take succeeds without deducting).
+class TokenBucket {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  TokenBucket() = default;
+  TokenBucket(double rate, double burst, Clock::time_point now);
+
+  /// Take `cost` tokens as of `now`. On refusal, *retry_after (when
+  /// non-null) receives the time until the bucket will hold `cost` tokens
+  /// again. A `now` earlier than the last refill (clock oddity under
+  /// virtualization) refills nothing rather than minting tokens.
+  [[nodiscard]] bool try_take(double cost, Clock::time_point now,
+                              Millis* retry_after = nullptr);
+
+  /// Hot-reload: swap rate/burst. Accumulated tokens are clamped to the
+  /// new burst; the refill timestamp is preserved so no elapsed time is
+  /// double-counted.
+  void configure(double rate, double burst);
+
+  /// Tokens available as of `now` (test observability; does not refill).
+  [[nodiscard]] double tokens(Clock::time_point now) const;
+
+ private:
+  [[nodiscard]] double effective_burst() const {
+    return burst_ > 0.0 ? burst_ : std::max(1.0, rate_);
+  }
+  /// Tokens after refilling to `now`, without mutating state.
+  [[nodiscard]] double refilled(Clock::time_point now) const;
+
+  mutable std::mutex mutex_;
+  double rate_ = 0.0;
+  double burst_ = 0.0;
+  double tokens_ = 0.0;
+  Clock::time_point last_{};
+};
+
+/// Weighted fair queue over a fixed number of dispatch slots: each active
+/// identity's concurrent share is max(1, capacity * weight / total active
+/// weight), so a flood from one identity cannot monopolize the queue while
+/// others are asking. Converges as slots churn — an identity holding more
+/// than its share is refused re-entry until it drains down.
+class FairQueue {
+ public:
+  FairQueue(std::size_t capacity, std::size_t max_per_identity);
+
+  /// Claim a slot for `identity`; false when the queue is full or the
+  /// identity is at its (fair or hard) share.
+  [[nodiscard]] bool try_enter(const std::string& identity,
+                               double weight = 1.0);
+  void leave(const std::string& identity);
+
+  void configure(std::size_t capacity, std::size_t max_per_identity);
+
+  /// Slots currently held (gauge).
+  [[nodiscard]] std::size_t active() const;
+
+ private:
+  struct Entry {
+    std::size_t count = 0;
+    double weight = 1.0;
+  };
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::size_t max_per_identity_;
+  std::size_t total_ = 0;
+  double active_weight_ = 0.0;  ///< sum of weights of identities holding slots
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+struct AdmissionDecision {
+  bool admitted = true;
+  /// Client-facing backoff hint (RETRY_AFTER_MS) when refused.
+  Millis retry_after{0};
+  /// "rate" | "queue" when refused (log/audit detail).
+  const char* reason = "";
+};
+
+class AdmissionController {
+ public:
+  using Clock = TokenBucket::Clock;
+
+  explicit AdmissionController(AdmissionLimits limits);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Pre-auth gate: one token from the peer address's bucket.
+  [[nodiscard]] AdmissionDecision admit_preauth(
+      const std::string& peer_address, Clock::time_point now = Clock::now());
+
+  /// Post-auth gate: rate bucket then fair-queue slot for the DN. An
+  /// admitted call holds a queue slot until release(identity) — pair them
+  /// (or use AdmissionGuard).
+  [[nodiscard]] AdmissionDecision admit(const std::string& identity,
+                                        double weight = 1.0,
+                                        Clock::time_point now = Clock::now());
+  void release(const std::string& identity);
+
+  /// Hot-reload: applies to the next admission decision; slots already
+  /// held and in-flight requests are untouched.
+  void set_limits(const AdmissionLimits& limits);
+  [[nodiscard]] AdmissionLimits limits() const;
+
+  struct Counters {
+    std::uint64_t accepted = 0;          ///< post-auth admissions
+    std::uint64_t shed_rate = 0;         ///< refused by a DN token bucket
+    std::uint64_t shed_queue = 0;        ///< refused by the fair queue
+    std::uint64_t preauth_accepted = 0;  ///< pre-auth admissions
+    std::uint64_t preauth_shed = 0;      ///< refused by an address bucket
+    std::uint64_t queued = 0;            ///< gauge: fair-queue slots held
+    std::uint64_t identities = 0;        ///< gauge: tracked DN buckets
+  };
+  [[nodiscard]] Counters counters() const;
+
+ private:
+  /// Identity -> bucket maps are striped: admissions for different
+  /// identities only contend within a stripe, and a scrape never holds
+  /// more than one stripe lock at a time.
+  static constexpr std::size_t kStripes = 16;
+  /// Bound per stripe; beyond it the oldest-inserted bucket is evicted
+  /// (an evicted identity restarts with a full burst — safe, just lenient).
+  static constexpr std::size_t kMaxBucketsPerStripe = 4096;
+
+  struct BucketEntry {
+    TokenBucket bucket;
+    std::uint64_t generation = 0;  ///< limits generation last configured at
+    BucketEntry(double rate, double burst, Clock::time_point now,
+                std::uint64_t generation)
+        : bucket(rate, burst, now), generation(generation) {}
+  };
+
+  struct Stripe {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, BucketEntry> buckets;
+  };
+
+  /// Take one token from `key`'s bucket in `stripes`, creating (and if
+  /// necessary reconfiguring) the bucket under the stripe lock.
+  [[nodiscard]] bool bucket_take(Stripe* stripes, const std::string& key,
+                                 double rate, double burst,
+                                 Clock::time_point now, Millis* retry_after);
+
+  [[nodiscard]] Stripe& stripe_for(Stripe* stripes, const std::string& key);
+
+  mutable std::mutex limits_mutex_;
+  AdmissionLimits limits_;
+  std::atomic<std::uint64_t> generation_{0};
+
+  Stripe identity_stripes_[kStripes];
+  Stripe preauth_stripes_[kStripes];
+  FairQueue queue_;
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> shed_rate_{0};
+  std::atomic<std::uint64_t> shed_queue_{0};
+  std::atomic<std::uint64_t> preauth_accepted_{0};
+  std::atomic<std::uint64_t> preauth_shed_{0};
+};
+
+/// RAII for an admitted identity's fair-queue slot.
+class AdmissionGuard {
+ public:
+  AdmissionGuard(AdmissionController& controller, std::string identity)
+      : controller_(&controller), identity_(std::move(identity)) {}
+  ~AdmissionGuard() {
+    if (controller_ != nullptr) controller_->release(identity_);
+  }
+  AdmissionGuard(const AdmissionGuard&) = delete;
+  AdmissionGuard& operator=(const AdmissionGuard&) = delete;
+  AdmissionGuard(AdmissionGuard&& other) noexcept
+      : controller_(std::exchange(other.controller_, nullptr)),
+        identity_(std::move(other.identity_)) {}
+
+ private:
+  AdmissionController* controller_;
+  std::string identity_;
+};
+
+}  // namespace myproxy::server

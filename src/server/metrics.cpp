@@ -1,0 +1,166 @@
+#include "server/metrics.hpp"
+
+#include <bit>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+#include "common/format.hpp"
+#include "common/logging.hpp"
+#include "portal/http.hpp"
+
+namespace myproxy::server {
+
+namespace {
+
+constexpr std::string_view kLogComponent = "metrics";
+
+/// Per-thread shard assignment: round-robin at first use, so a pool of
+/// workers spreads across shards instead of hashing onto the same line.
+std::size_t shard_index(std::size_t shard_count) {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t assigned =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return assigned % shard_count;
+}
+
+}  // namespace
+
+// --- LatencyHistogram --------------------------------------------------------
+
+std::size_t LatencyHistogram::bucket_index(std::uint64_t us) noexcept {
+  // First bucket whose upper bound 2^i covers the sample:
+  // ceil(log2(us)) == bit_width(us - 1), with us <= 1 landing in bucket 0.
+  if (us <= 1) return 0;
+  const std::size_t index =
+      static_cast<std::size_t>(std::bit_width(us - 1));
+  return std::min(index, kBuckets - 1);
+}
+
+void LatencyHistogram::record(std::uint64_t us) noexcept {
+  Shard& shard = shards_[shard_index(kShards)];
+  shard.counts[bucket_index(us)].fetch_add(1, std::memory_order_relaxed);
+  shard.sum_us.fetch_add(us, std::memory_order_relaxed);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const noexcept {
+  Snapshot out;
+  for (const Shard& shard : shards_) {
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      out.counts[i] += shard.counts[i].load(std::memory_order_relaxed);
+    }
+    out.sum_us += shard.sum_us.load(std::memory_order_relaxed);
+  }
+  for (const std::uint64_t count : out.counts) out.total += count;
+  return out;
+}
+
+void append_histogram(std::string& out, std::string_view name,
+                      std::string_view label,
+                      const LatencyHistogram::Snapshot& snapshot) {
+  const auto braced = [&label](std::string_view extra) {
+    if (label.empty()) return fmt::format("{{{}}}", extra);
+    return fmt::format("{{{},{}}}", label, extra);
+  };
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    cumulative += snapshot.counts[i];
+    if (i + 1 == LatencyHistogram::kBuckets) break;  // +Inf rendered below
+    out += fmt::format(
+        "{}_bucket{} {}\n", name,
+        braced(fmt::format("le=\"{}\"", LatencyHistogram::bucket_upper_us(i))),
+        cumulative);
+  }
+  out += fmt::format("{}_bucket{} {}\n", name, braced("le=\"+Inf\""),
+                     snapshot.total);
+  const std::string selector =
+      label.empty() ? std::string() : fmt::format("{{{}}}", label);
+  out += fmt::format("{}_sum{} {}\n", name, selector, snapshot.sum_us);
+  out += fmt::format("{}_count{} {}\n", name, selector, snapshot.total);
+}
+
+// --- MetricsEndpoint ---------------------------------------------------------
+
+MetricsEndpoint::MetricsEndpoint(MetricsConfig config,
+                                 std::function<std::string()> render)
+    : config_(std::move(config)), render_(std::move(render)) {}
+
+MetricsEndpoint::~MetricsEndpoint() { stop(); }
+
+void MetricsEndpoint::start() {
+  if (!net::is_loopback_address(config_.bind_address) && !config_.bind_any) {
+    throw ConfigError(fmt::format(
+        "metrics endpoint refuses non-loopback bind '{}' without "
+        "metrics_bind_any=true (the scrape is unauthenticated plaintext)",
+        config_.bind_address));
+  }
+  listener_.emplace(
+      net::TcpListener::bind(config_.port, config_.bind_address));
+  port_ = listener_->port();
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  log::info(kLogComponent, "metrics endpoint listening on {}:{}",
+            config_.bind_address, port_);
+}
+
+void MetricsEndpoint::stop() {
+  if (stopping_.exchange(true)) return;
+  if (listener_.has_value()) listener_->shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listener_.has_value()) listener_->close();
+}
+
+void MetricsEndpoint::accept_loop() {
+  while (!stopping_.load()) {
+    net::Socket socket;
+    try {
+      socket = listener_->accept();
+    } catch (const IoError&) {
+      break;  // listener shut down
+    }
+    try {
+      serve(std::move(socket));
+    } catch (const std::exception& e) {
+      // A broken or slow scraper must not take the endpoint down.
+      log::warn(kLogComponent, "scrape failed: {}", e.what());
+    }
+  }
+}
+
+void MetricsEndpoint::serve(net::Socket socket) {
+  socket.set_deadlines(Millis(2000), Millis(2000));
+  // GET has no body: the request is complete at the header terminator.
+  std::string raw;
+  while (raw.find("\r\n\r\n") == std::string::npos) {
+    if (raw.size() > 8192) throw ProtocolError("oversized metrics request");
+    const std::string chunk = socket.read_some(1024);
+    if (chunk.empty()) throw IoError("scraper closed mid-request");
+    raw += chunk;
+  }
+  portal::HttpResponse response;
+  try {
+    const portal::HttpRequest request = portal::parse_request(raw);
+    const std::string_view target(request.target);
+    const bool is_metrics =
+        target == "/metrics" || target.substr(0, 9) == "/metrics?";
+    if (request.method != "GET") {
+      response = portal::HttpResponse::error(405, "Method Not Allowed",
+                                             "GET only\n");
+    } else if (!is_metrics) {
+      response =
+          portal::HttpResponse::error(404, "Not Found", "try /metrics\n");
+    } else {
+      response.status = 200;
+      response.reason = "OK";
+      response.headers["content-type"] =
+          "text/plain; version=0.0.4; charset=utf-8";
+      response.body = render_();
+    }
+  } catch (const Error&) {
+    response = portal::HttpResponse::error(400, "Bad Request",
+                                           "malformed request\n");
+  }
+  response.headers["connection"] = "close";
+  socket.write_all(response.serialize());
+  socket.shutdown_send();
+}
+
+}  // namespace myproxy::server

@@ -1,0 +1,111 @@
+// Live metrics for the repository server: lock-free latency histograms and
+// a plaintext-HTTP /metrics endpoint (Prometheus text exposition format).
+//
+// The endpoint binds to loopback by default — the scrape carries no
+// credentials and the counters leak operational shape, so exposing it off-
+// host is an explicit opt-in (metrics_bind_any). It reuses portal::http for
+// message parsing; transport is raw TCP (a scraper is a trusted local
+// agent, unlike the mutually-authenticated Grid protocol).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "net/socket.hpp"
+
+namespace myproxy::server {
+
+/// Fixed log2-scale latency histogram over microsecond samples.
+///
+/// record() is lock-free and runs on every request: samples land in one of
+/// kShards cache-line-sized shards of relaxed atomics (shard picked per
+/// thread), so concurrent workers never contend on a counter line.
+/// snapshot() sums the shards — a scrape-time cost, not a request-time one.
+class LatencyHistogram {
+ public:
+  /// Buckets are upper bounds 2^0..2^26 µs (1 µs .. ~67 s) plus overflow.
+  static constexpr std::size_t kBuckets = 28;
+
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  void record(std::uint64_t us) noexcept;
+
+  struct Snapshot {
+    std::array<std::uint64_t, kBuckets> counts{};  ///< per-bucket (not cumulative)
+    std::uint64_t total = 0;
+    std::uint64_t sum_us = 0;
+  };
+  [[nodiscard]] Snapshot snapshot() const noexcept;
+
+  /// Upper bound of bucket `index` in µs; the last bucket is unbounded
+  /// (rendered as +Inf).
+  [[nodiscard]] static std::uint64_t bucket_upper_us(
+      std::size_t index) noexcept {
+    return std::uint64_t{1} << index;
+  }
+
+  /// Bucket index for a sample (exposed for tests of the boundary math).
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t us) noexcept;
+
+ private:
+  static constexpr std::size_t kShards = 8;
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, kBuckets> counts{};
+    std::atomic<std::uint64_t> sum_us{0};
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+/// Render one histogram in Prometheus text format under `name`, with an
+/// optional `{label}` selector (e.g. op="GET") applied to every line.
+void append_histogram(std::string& out, std::string_view name,
+                      std::string_view label,
+                      const LatencyHistogram::Snapshot& snapshot);
+
+struct MetricsConfig {
+  bool enabled = false;
+  std::uint16_t port = 0;  ///< 0 = ephemeral (tests)
+  std::string bind_address = "127.0.0.1";
+  /// Refuse to start on a non-loopback bind_address unless set: the scrape
+  /// is unauthenticated plaintext.
+  bool bind_any = false;
+};
+
+/// Minimal single-threaded HTTP server for GET /metrics. One connection at
+/// a time, Connection: close, short socket deadlines so a stalled scraper
+/// cannot wedge the accept loop for long.
+class MetricsEndpoint {
+ public:
+  MetricsEndpoint(MetricsConfig config, std::function<std::string()> render);
+  ~MetricsEndpoint();
+
+  MetricsEndpoint(const MetricsEndpoint&) = delete;
+  MetricsEndpoint& operator=(const MetricsEndpoint&) = delete;
+
+  /// Bind and start serving. Throws ConfigError when bind_address is not
+  /// loopback and bind_any is false.
+  void start();
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+ private:
+  void accept_loop();
+  void serve(net::Socket socket);
+
+  MetricsConfig config_;
+  std::function<std::string()> render_;
+  std::optional<net::TcpListener> listener_;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace myproxy::server

@@ -1,8 +1,11 @@
 #include "server/myproxy_server.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
+#include <csignal>
 
+#include "common/config.hpp"
 #include "common/error.hpp"
 #include "common/format.hpp"
 #include "common/logging.hpp"
@@ -39,6 +42,34 @@ auto timed_us(std::atomic<std::uint64_t>& counter, Op&& op)
 using protocol::Command;
 using protocol::Request;
 using protocol::Response;
+
+/// Admission limits with the fair queue's capacity derived from the pool
+/// geometry. Derivation only happens once any limiting is configured, so a
+/// server with admission off behaves exactly as before this layer existed.
+AdmissionLimits effective_admission_limits(const AdmissionLimits& requested,
+                                           const ServerConfig& config) {
+  AdmissionLimits limits = requested;
+  const bool enabled = limits.rate_limit_rps > 0.0 ||
+                       limits.max_queued_per_identity > 0 ||
+                       limits.queue_capacity > 0 ||
+                       limits.preauth_rate_limit_rps > 0.0;
+  if (enabled && limits.queue_capacity == 0) {
+    limits.queue_capacity =
+        config.worker_threads + (config.max_pending_connections == 0
+                                     ? 256
+                                     : config.max_pending_connections);
+  }
+  return limits;
+}
+
+/// SIGHUP sets a process-wide generation; each server's reload_loop polls
+/// it and re-reads its own config_file. Signal-handler-safe: one relaxed
+/// fetch_add, nothing else.
+std::atomic<std::uint64_t> g_reload_generation{0};
+
+void on_sighup(int) {
+  g_reload_generation.fetch_add(1, std::memory_order_relaxed);
+}
 
 /// Map an internal failure to the error text put on the wire. Auth errors
 /// are deliberately vague to the client; the specifics go to the audit log.
@@ -116,6 +147,14 @@ std::string_view to_string(IoModel model) noexcept {
   return model == IoModel::kThreaded ? "threaded" : "reactor";
 }
 
+Response busy_response(Millis retry_after) {
+  Response response =
+      Response::make_error("server busy, retry after backoff");
+  response.fields["BUSY"] = "1";
+  response.fields["RETRY_AFTER_MS"] = std::to_string(retry_after.count());
+  return response;
+}
+
 MyProxyServer::MyProxyServer(
     gsi::Credential host_credential, pki::TrustStore trust_store,
     std::shared_ptr<repository::Repository> repository, ServerConfig config)
@@ -126,7 +165,8 @@ MyProxyServer::MyProxyServer(
       tls_context_(tls::TlsContext::make(
           host_credential_, tls::PeerAuth::kRequired,
           tls::SessionResumption{config_.tls_session_resumption,
-                                 config_.tls_session_timeout})) {
+                                 config_.tls_session_timeout})),
+      admission_(effective_admission_limits(config_.admission, config_)) {
   if (repository_ == nullptr) {
     throw Error(ErrorCode::kInternal, "server requires a repository");
   }
@@ -180,6 +220,25 @@ void MyProxyServer::start() {
   } else {
     accept_thread_ = std::thread([this] { accept_loop(); });
   }
+  if (config_.metrics_enabled) {
+    MetricsConfig metrics_config;
+    metrics_config.enabled = true;
+    metrics_config.port = config_.metrics_port;
+    metrics_config.bind_address = config_.metrics_bind_address;
+    metrics_config.bind_any = config_.metrics_bind_any;
+    metrics_ = std::make_unique<MetricsEndpoint>(
+        metrics_config, [this] { return render_metrics(); });
+    metrics_->start();
+  }
+  if (!config_.config_file.empty()) {
+    // Admission limits hot-reload on SIGHUP without disturbing established
+    // TLS sessions: the handler only bumps a generation; this thread does
+    // the config re-read outside signal context.
+    std::signal(SIGHUP, on_sighup);
+    seen_reload_generation_ =
+        g_reload_generation.load(std::memory_order_relaxed);
+    reload_thread_ = std::thread([this] { reload_loop(); });
+  }
   if (config_.sweep_interval > Seconds(0)) {
     sweep_thread_ = std::thread([this] {
       std::unique_lock lock(stop_mutex_);
@@ -227,11 +286,47 @@ void MyProxyServer::stop() {
   if (listener_.has_value()) listener_->shutdown();
   if (accept_thread_.joinable()) accept_thread_.join();
   if (sweep_thread_.joinable()) sweep_thread_.join();
+  if (reload_thread_.joinable()) reload_thread_.join();
+  metrics_.reset();  // before the pools: a scrape reads their gauges
   pool_.reset();  // drains and joins workers
   key_pool_.reset();  // after workers: handlers may still hold the pool
   replica_session_.reset();  // after workers: STATS handlers read its stats
   if (listener_.has_value()) listener_->close();
   log::info(kLogComponent, "myproxy-server stopped");
+}
+
+void MyProxyServer::reload_limits(const AdmissionLimits& limits) {
+  const AdmissionLimits effective =
+      effective_admission_limits(limits, config_);
+  admission_.set_limits(effective);
+  log::info(kLogComponent,
+            "admission limits reloaded: rate={}/s burst={} "
+            "max_queued_per_identity={} queue_capacity={} preauth_rate={}/s",
+            effective.rate_limit_rps, effective.rate_limit_burst,
+            effective.max_queued_per_identity, effective.queue_capacity,
+            effective.preauth_rate_limit_rps);
+}
+
+void MyProxyServer::reload_loop() {
+  std::unique_lock lock(stop_mutex_);
+  while (!stop_cv_.wait_for(lock, Millis(100),
+                            [this] { return stopping_.load(); })) {
+    const std::uint64_t generation =
+        g_reload_generation.load(std::memory_order_relaxed);
+    if (generation == seen_reload_generation_) continue;
+    seen_reload_generation_ = generation;
+    lock.unlock();
+    try {
+      const Config config = Config::load(config_.config_file);
+      reload_limits(admission_limits_from_config(config));
+    } catch (const std::exception& e) {
+      // A bad config on disk must not kill the running limits (or the
+      // server): keep the previous limits and say why.
+      log::warn(kLogComponent, "SIGHUP reload of '{}' failed: {}",
+                config_.config_file.string(), e.what());
+    }
+    lock.lock();
+  }
 }
 
 void MyProxyServer::accept_loop() {
@@ -242,6 +337,12 @@ void MyProxyServer::accept_loop() {
     } catch (const IoError&) {
       // Listener closed during shutdown.
       break;
+    }
+    // Pre-auth gate: per-peer-address token bucket, consulted before a
+    // worker (and a TLS handshake) is spent on the connection.
+    if (!admission_.admit_preauth(socket.peer_address()).admitted) {
+      shed_connection(std::move(socket), "pre-auth address rate limit");
+      continue;
     }
     if (!reserve_connection_slot()) {
       shed_connection(std::move(socket), "connection limit reached");
@@ -453,6 +554,43 @@ void MyProxyServer::serve_request(net::Channel& channel,
     channel.send(redirect.serialize());
     return;
   }
+
+  // Per-identity admission: token bucket + fair queue keyed on the
+  // authenticated DN. STATS stays exempt so an operator can always reach a
+  // saturated server; REPLICA_SYNC streams for the life of the replica and
+  // would otherwise pin a fair-queue slot forever.
+  std::optional<AdmissionGuard> admission_guard;
+  if (request.command != Command::kStats &&
+      request.command != Command::kReplicaSync) {
+    const AdmissionDecision decision = admission_.admit(peer.identity.str());
+    if (!decision.admitted) {
+      log::warn(kLogComponent, "admission shed ({}) for '{}': retry in {} ms",
+                decision.reason, peer.identity.str(),
+                decision.retry_after.count());
+      audit_event.outcome = AuditOutcome::kError;
+      audit_event.detail = fmt::format("admission shed ({})", decision.reason);
+      audit_.record(std::move(audit_event));
+      channel.send(busy_response(decision.retry_after).serialize());
+      return;
+    }
+    admission_guard.emplace(admission_, peer.identity.str());
+  }
+
+  // Latency histogram charge covers dispatch through reply — success and
+  // error paths alike — but never shed requests (they return above), so
+  // each op's bucket counts sum to the ops actually served.
+  struct LatencyCharge {
+    LatencyHistogram& histogram;
+    std::chrono::steady_clock::time_point start =
+        std::chrono::steady_clock::now();
+    ~LatencyCharge() {
+      histogram.record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count()));
+    }
+  } latency_charge{
+      stats_.op_latency[static_cast<std::size_t>(request.command)]};
 
   try {
     switch (request.command) {
@@ -993,15 +1131,16 @@ void MyProxyServer::handle_replica_sync(net::Channel& channel,
   }
 }
 
-void MyProxyServer::handle_stats(net::Channel& channel, const Request&,
-                                 const pki::VerifiedIdentity& peer) {
-  if (!config_.authorized_retrievers.allows(peer.identity) &&
-      !config_.accepted_credentials.allows(peer.identity)) {
-    throw AuthorizationError("not authorized for STATS");
-  }
-  Response response;
-  const auto put = [&response](std::string_view key, std::uint64_t value) {
-    response.fields[std::string(key)] = std::to_string(value);
+// Single source of truth for every numeric counter the server exposes:
+// handle_stats (STATS over TLS) and render_metrics (/metrics scrape) both
+// read this, so the two surfaces agree by construction. Lock-free — only
+// atomics and the striped store's size() are touched.
+std::vector<std::pair<std::string, std::uint64_t>>
+MyProxyServer::counter_snapshot() const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(48);
+  const auto put = [&out](std::string_view key, std::uint64_t value) {
+    out.emplace_back(std::string(key), value);
   };
   put("CONNECTIONS", stats_.connections.load());
   put("PUTS", stats_.puts.load());
@@ -1024,8 +1163,21 @@ void MyProxyServer::handle_stats(net::Channel& channel, const Request&,
   put("PUT_STORE_US", stats_.put_store_us.load());
   put("GET_OPEN_US", stats_.get_open_us.load());
 
-  response.fields["REPL_ROLE"] =
-      std::string(replication::to_string(config_.replication_role));
+  const AdmissionController::Counters admission = admission_.counters();
+  put("ADMISSION_ACCEPTED", admission.accepted);
+  put("ADMISSION_SHED_RATE", admission.shed_rate);
+  put("ADMISSION_SHED_QUEUE", admission.shed_queue);
+  put("ADMISSION_PREAUTH_ACCEPTED", admission.preauth_accepted);
+  put("ADMISSION_PREAUTH_SHED", admission.preauth_shed);
+  put("ADMISSION_QUEUED", admission.queued);
+  put("ADMISSION_IDENTITIES", admission.identities);
+
+  if (key_pool_ != nullptr) {
+    const auto pool_stats = key_pool_->stats();
+    put("KEYPOOL_AVAILABLE", key_pool_->available());
+    put("KEYPOOL_GENERATED", pool_stats.generated);
+    put("KEYPOOL_DRAINED", pool_stats.drained);
+  }
   if (config_.journal != nullptr) {
     put("REPL_JOURNAL_SEQ", config_.journal->last_sequence());
     put("REPL_LAST_ACKED_SEQ", stats_.repl_last_acked_seq.load());
@@ -1045,6 +1197,45 @@ void MyProxyServer::handle_stats(net::Channel& channel, const Request&,
     put("REPL_RECONNECTS", rs.reconnects.load());
   }
   put("REPL_REDIRECTS", stats_.repl_redirects.load());
+  return out;
+}
+
+std::string MyProxyServer::render_metrics() const {
+  std::string out;
+  out.reserve(16384);
+  for (const auto& [key, value] : counter_snapshot()) {
+    std::string name = "myproxy_";
+    for (const char c : key) {
+      name += static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c)));
+    }
+    out += fmt::format("{} {}\n", name, value);
+  }
+  out += fmt::format("myproxy_repl_role{{role=\"{}\"}} 1\n",
+                     replication::to_string(config_.replication_role));
+  out += "# TYPE myproxy_op_latency_us histogram\n";
+  for (std::size_t i = 0; i < ServerStats::kOpCount; ++i) {
+    append_histogram(
+        out, "myproxy_op_latency_us",
+        fmt::format("op=\"{}\"",
+                    protocol::to_string(static_cast<Command>(i))),
+        stats_.op_latency[i].snapshot());
+  }
+  return out;
+}
+
+void MyProxyServer::handle_stats(net::Channel& channel, const Request&,
+                                 const pki::VerifiedIdentity& peer) {
+  if (!config_.authorized_retrievers.allows(peer.identity) &&
+      !config_.accepted_credentials.allows(peer.identity)) {
+    throw AuthorizationError("not authorized for STATS");
+  }
+  Response response;
+  for (const auto& [key, value] : counter_snapshot()) {
+    response.fields[key] = std::to_string(value);
+  }
+  response.fields["REPL_ROLE"] =
+      std::string(replication::to_string(config_.replication_role));
   channel.send(response.serialize());
 }
 

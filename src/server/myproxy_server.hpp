@@ -11,17 +11,22 @@
 // ThreadPool (the repository is a shared production service, §3.3).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "common/thread_pool.hpp"
 #include "crypto/keypair_pool.hpp"
 #include "gsi/acl.hpp"
+#include "server/admission.hpp"
 #include "server/audit_log.hpp"
+#include "server/metrics.hpp"
 #include "gsi/credential.hpp"
 #include "net/channel.hpp"
 #include "net/socket.hpp"
@@ -148,6 +153,23 @@ struct ServerConfig {
   /// Append-only JSONL audit sink; empty disables the file (the in-memory
   /// ring always works).
   std::filesystem::path audit_log_file;
+
+  // --- Admission control & metrics -------------------------------------------
+
+  /// Per-identity admission limits (token buckets + fair queue). A zero
+  /// queue_capacity is derived as worker_threads + max_pending_connections
+  /// at start(). Hot-reloadable via SIGHUP when config_file is set.
+  AdmissionLimits admission;
+
+  /// Plaintext-HTTP /metrics endpoint (Prometheus text format).
+  bool metrics_enabled = false;
+  std::uint16_t metrics_port = 0;  ///< 0 = ephemeral (tests)
+  std::string metrics_bind_address = "127.0.0.1";
+  bool metrics_bind_any = false;  ///< allow a non-loopback bind_address
+
+  /// When set, SIGHUP re-reads this file and applies the admission limits
+  /// to the running server without dropping TLS sessions.
+  std::filesystem::path config_file;
 };
 
 /// Operation counters for tests, benchmarks, and the audit story.
@@ -185,7 +207,18 @@ struct ServerStats {
   std::atomic<std::uint64_t> repl_last_acked_seq{0};   ///< newest replica ack
   std::atomic<std::uint64_t> repl_replicas_connected{0};  ///< gauge
   std::atomic<std::uint64_t> repl_redirects{0};  ///< writes refused on replica
+
+  /// Per-op dispatch latency, indexed by protocol::Command (0..kStats).
+  /// Records cover parse-to-response of admitted requests; shed requests
+  /// never reach a histogram.
+  static constexpr std::size_t kOpCount =
+      static_cast<std::size_t>(protocol::Command::kStats) + 1;
+  std::array<LatencyHistogram, kOpCount> op_latency;
 };
+
+/// Framed "server busy" refusal carrying the admission hint: BUSY=1 plus
+/// RETRY_AFTER_MS, which the client RetryPolicy honours before retrying.
+[[nodiscard]] protocol::Response busy_response(Millis retry_after);
 
 class MyProxyServer {
  public:
@@ -239,9 +272,46 @@ class MyProxyServer {
     return replica_session_.get();
   }
 
+  /// Admission counters (accepted/shed per identity class) for tests,
+  /// STATS, and the metrics scrape.
+  [[nodiscard]] const AdmissionController& admission() const {
+    return admission_;
+  }
+
+  /// Current admission limits (hot-reload observability for tests).
+  [[nodiscard]] AdmissionLimits admission_limits() const {
+    return admission_.limits();
+  }
+
+  /// Apply new admission limits to the running server. Established TLS
+  /// sessions and in-flight requests are untouched; the next admission
+  /// decision sees the new numbers. Public so the SIGHUP path and tests
+  /// share one entry point.
+  void reload_limits(const AdmissionLimits& limits);
+
+  /// Port of the /metrics endpoint (0 unless metrics_enabled and started).
+  [[nodiscard]] std::uint16_t metrics_port() const {
+    return metrics_ != nullptr ? metrics_->port() : 0;
+  }
+
+  /// Prometheus text exposition of every ServerStats counter, the per-op
+  /// latency histograms, and the admission counters. Public so tests can
+  /// check STATS(10) consistency without a scrape.
+  [[nodiscard]] std::string render_metrics() const;
+
  private:
   void accept_loop();
   void handle_connection(net::Socket socket);
+
+  /// SIGHUP hot-reload poll loop: re-reads config_file when the signal
+  /// handler bumps the reload generation, then applies the admission keys.
+  void reload_loop();
+
+  /// Numeric STATS(10) fields in exposition order — the single source both
+  /// handle_stats and render_metrics enumerate, so the admin dump and the
+  /// scrape can never drift apart.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
+  counter_snapshot() const;
 
   /// Atomically reserve an in-flight connection slot: a single fetch_add
   /// claims the slot, and an over-cap claim is rolled back with fetch_sub.
@@ -330,10 +400,14 @@ class MyProxyServer {
   std::unique_ptr<crypto::KeyPairPool> key_pool_;
   std::unique_ptr<replication::ReplicaSession> replica_session_;
   std::unique_ptr<Reactor> reactor_;
+  AdmissionController admission_;
+  std::unique_ptr<MetricsEndpoint> metrics_;
   std::optional<net::TcpListener> listener_;
   std::uint16_t port_ = 0;
   std::thread accept_thread_;
   std::thread sweep_thread_;
+  std::thread reload_thread_;
+  std::uint64_t seen_reload_generation_ = 0;
   std::unique_ptr<ThreadPool> pool_;
   std::atomic<std::size_t> in_flight_{0};
   std::atomic<bool> stopping_{false};

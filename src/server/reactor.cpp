@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "net/socket.hpp"
 #include "protocol/message.hpp"
 #include "server/myproxy_server.hpp"
 
@@ -205,6 +206,26 @@ void Reactor::hand_off(const std::shared_ptr<Connection>& conn) {
   conn->channel->make_blocking();
   std::shared_ptr<tls::TlsChannel> channel(std::move(conn->channel));
   conn->slot_transferred = true;
+
+  // Pre-auth gate, mirroring the threaded accept_loop. The handshake is
+  // already paid for on this path (the reactor fronts it), but the gate
+  // still keeps an abusive address from monopolizing the worker pool.
+  const AdmissionDecision preauth =
+      server_.admission_.admit_preauth(net::peer_address_of(channel->fd()));
+  if (!preauth.admitted) {
+    server_.release_connection_slot();
+    server_.stats_.shed_connections.fetch_add(1, std::memory_order_relaxed);
+    log::warn(kLogComponent, "shedding connection: pre-auth address rate "
+                             "limit");
+    try {
+      channel->set_deadlines(Millis(100), Millis(100));
+      channel->send(busy_response(preauth.retry_after).serialize());
+    } catch (const std::exception&) {
+      // Best-effort, as in the threaded shed path.
+    }
+    channel->close();
+    return;
+  }
 
   const bool queued = server_.pool_->try_submit(
       [srv = &server_, channel, request = std::move(conn->request)]() mutable {

@@ -44,6 +44,17 @@
 //   replication_sync_mode none|fsync|group  # journal append durability
 //   replication_state_file <path>  # replica offset (default <storage>/replica.state)
 //   audit_log_file        <path>   # append-only JSONL audit sink
+//
+// Admission control & metrics (hot-reload the admission keys via SIGHUP):
+//   rate_limit_rps        <r>      # per-identity token refill rate (0 = off)
+//   rate_limit_burst      <n>      # per-identity burst (0 = derive from rate)
+//   max_queued_per_identity <n>    # fair-queue hard cap per identity
+//   preauth_rate_limit_rps <r>     # per-peer-address pre-handshake rate
+//   preauth_rate_limit_burst <n>
+//   metrics_enabled       0|1      # plaintext-HTTP /metrics endpoint
+//   metrics_port          <port>   # 0 = ephemeral
+//   metrics_bind_address  <addr>   # loopback unless metrics_bind_any=1
+//   metrics_bind_any      0|1      # allow a non-loopback metrics bind
 #include <csignal>
 
 #include "common/config.hpp"
@@ -67,8 +78,10 @@ void serve(const tools::Args& args) {
   auto trust = tools::load_trust_store(args.get_or("--trust", "ca.pem"));
 
   Config config;
+  std::filesystem::path config_path;
   if (const auto path = args.get("--config")) {
     config = Config::load(*path);
+    config_path = *path;
   }
 
   repository::RepositoryPolicy policy;
@@ -214,6 +227,20 @@ void serve(const tools::Args& args) {
       "replication_state_file",
       storage_dir.empty() ? "" : storage_dir + "/replica.state");
   server_config.audit_log_file = config.get_or("audit_log_file", "");
+
+  server_config.admission = server::admission_limits_from_config(config);
+  // Remember where the config came from so SIGHUP can re-read the
+  // admission keys without a restart.
+  server_config.config_file = config_path;
+  server_config.metrics_enabled =
+      config.get_int_or("metrics_enabled", 0) != 0;
+  server_config.metrics_port = static_cast<std::uint16_t>(
+      config.get_int_or("metrics_port",
+                        static_cast<std::int64_t>(server_config.metrics_port)));
+  server_config.metrics_bind_address =
+      config.get_or("metrics_bind_address", server_config.metrics_bind_address);
+  server_config.metrics_bind_any =
+      config.get_int_or("metrics_bind_any", 0) != 0;
   if (role == replication::ReplicationRole::kPrimary &&
       server_config.replica_acl.empty()) {
     log::warn("myproxy-server",
@@ -225,6 +252,10 @@ void serve(const tools::Args& args) {
                                server_config);
   server.start();
   std::cout << "myproxy-server listening on port " << server.port() << '\n';
+  if (server.metrics_port() != 0) {
+    std::cout << "metrics on http://" << server_config.metrics_bind_address
+              << ':' << server.metrics_port() << "/metrics\n";
+  }
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
