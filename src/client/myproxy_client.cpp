@@ -58,7 +58,16 @@ MyProxyClient::MyProxyClient(gsi::Credential credential,
   }
 }
 
-std::vector<std::uint16_t> MyProxyClient::candidates(OpKind kind) const {
+std::vector<std::uint16_t> MyProxyClient::candidates(
+    OpKind kind, std::string_view username) const {
+  if (cluster_routing_ && cluster_map_.has_value() &&
+      !cluster_map_->empty() && !username.empty()) {
+    const cluster::ShardNode& owner = cluster_map_->owner(username);
+    if (kind == OpKind::kWrite) return {owner.primary};
+    std::vector<std::uint16_t> order = owner.replicas;
+    order.push_back(owner.primary);
+    return order;
+  }
   if (kind == OpKind::kWrite) return {ports_.front()};
   if (ports_.size() == 1) return ports_;
   std::vector<std::uint16_t> order(ports_.begin() + 1, ports_.end());
@@ -67,47 +76,85 @@ std::vector<std::uint16_t> MyProxyClient::candidates(OpKind kind) const {
 }
 
 template <typename Fn>
-auto MyProxyClient::run_op(OpKind kind, Fn&& fn)
+auto MyProxyClient::run_op(OpKind kind, std::string_view username, Fn&& fn)
     -> decltype(fn(std::uint16_t{})) {
-  const std::vector<std::uint16_t> order = candidates(kind);
-  bool followed_redirect = false;
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    const bool last = i + 1 == order.size();
+  const int hop_budget = std::max(0, retry_policy_.max_redirect_hops);
+  int hops = 0;
+  // A redirect names one definite destination; it overrides the computed
+  // candidate order for the next pass.
+  std::optional<std::uint16_t> forced;
+  for (;;) {
+    const std::vector<std::uint16_t> order =
+        forced.has_value() ? std::vector<std::uint16_t>{*forced}
+                           : candidates(kind, username);
+    forced.reset();
     try {
-      return run_with_busy_retry(fn, order[i]);
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        const bool last = i + 1 == order.size();
+        try {
+          return run_with_busy_retry(fn, order[i]);
+        } catch (const ReplicaRedirect& e) {
+          // A write landed on a replica: handled by the outer hop loop,
+          // which follows the named primary. A read landed on a server
+          // that insists on the primary (e.g. an OTP retrieval): fall
+          // through to the next endpoint — the primary is always last in
+          // a read order.
+          if (kind == OpKind::kWrite) throw;
+          if (last) throw;
+          log::warn(kLogComponent,
+                    "endpoint {} redirected ({}); failing over", order[i],
+                    e.what());
+        } catch (const IoError& e) {
+          // The endpoint is unreachable even after connect()'s own
+          // retries, or died mid-operation. Reads are side-effect free, so
+          // re-running the whole operation elsewhere is safe.
+          if (last) throw;
+          log::warn(kLogComponent, "endpoint {} failed ({}); failing over",
+                    order[i], e.what());
+        }
+      }
+      throw IoError("no repository endpoint configured");  // unreachable
+    } catch (const WrongShardRedirect& e) {
+      // Our map is stale (or absent): the server named the shard's owner
+      // and its epoch. Refresh the map and re-route; servers chasing a
+      // live migration can hand us around, so the hop budget bounds it.
+      if (++hops > hop_budget) {
+        throw RedirectLoop(fmt::format(
+            "redirect budget ({}) exhausted chasing shard ownership: {}",
+            hop_budget, e.what()));
+      }
+      ++wrong_shard_redirects_;
+      log::warn(kLogComponent,
+                "wrong shard for '{}' (owner primary {}, epoch {}); "
+                "refreshing cluster map",
+                username, e.primary_hint(), e.epoch());
+      try {
+        (void)fetch_cluster_map_from(e.primary_hint());
+      } catch (const std::exception&) {
+        // Could not refresh a map from anyone; the redirect's direct hint
+        // is still actionable on its own.
+        if (e.primary_hint() == 0) throw;
+        forced = e.primary_hint();
+      }
     } catch (const ReplicaRedirect& e) {
       // A write landed on a replica (the configured "primary" endpoint was
       // demoted, or the list simply starts with a replica). The refusal
-      // names the real primary — follow it once before giving up rather
-      // than hard-failing on information we were just handed.
-      if (kind == OpKind::kWrite) {
-        const std::uint16_t hint = e.primary_port();
-        if (!followed_redirect && hint != 0 && hint != order[i]) {
-          followed_redirect = true;
-          log::warn(kLogComponent,
-                    "endpoint {} is a replica; following redirect to "
-                    "primary {}",
-                    order[i], hint);
-          return run_with_busy_retry(fn, hint);
-        }
-        throw;
+      // names the real primary — follow it rather than hard-failing on
+      // information we were just handed, within the shared hop budget.
+      if (kind != OpKind::kWrite) throw;
+      const std::uint16_t hint = e.primary_port();
+      if (hint == 0) throw;
+      if (++hops > hop_budget) {
+        throw RedirectLoop(fmt::format(
+            "redirect budget ({}) exhausted chasing the primary: {}",
+            hop_budget, e.what()));
       }
-      // A read landed on a server that insists on the primary (e.g. an OTP
-      // retrieval). Fall through to the next endpoint — the primary is
-      // always last in a read order.
-      if (last) throw;
-      log::warn(kLogComponent, "endpoint {} redirected ({}); failing over",
-                order[i], e.what());
-    } catch (const IoError& e) {
-      // The endpoint is unreachable even after connect()'s own retries, or
-      // died mid-operation. Reads are side-effect free, so re-running the
-      // whole operation elsewhere is safe.
-      if (last) throw;
-      log::warn(kLogComponent, "endpoint {} failed ({}); failing over",
-                order[i], e.what());
+      log::warn(kLogComponent,
+                "endpoint is a replica; following redirect to primary {}",
+                hint);
+      forced = hint;
     }
   }
-  throw IoError("no repository endpoint configured");  // unreachable
 }
 
 template <typename Fn>
@@ -228,48 +275,158 @@ gsi::DelegationRequest MyProxyClient::start_delegation(
   return gsi::begin_delegation(spec);
 }
 
+namespace {
+
+/// Strict port parse for redirect hints; an unparseable or out-of-range
+/// hint degrades to 0 (redirect with no usable target), never to a
+/// truncated port.
+std::uint16_t parse_port_hint(const Response& response,
+                              const std::string& key) {
+  const auto it = response.fields.find(key);
+  if (it == response.fields.end()) return 0;
+  const auto hint = strings::parse_u64(it->second);
+  if (hint.has_value() && *hint > 0 && *hint <= 0xffff) {
+    return static_cast<std::uint16_t>(*hint);
+  }
+  return 0;
+}
+
+}  // namespace
+
+void MyProxyClient::check_response(const Response& response,
+                                   Command command) {
+  if (response.ok()) return;
+  const std::string message = fmt::format("server refused {}: {}",
+                                          to_string(command), response.error);
+  const auto busy = response.fields.find("BUSY");
+  if (busy != response.fields.end()) {
+    // Admission shed with a pacing hint. The hint is clamped so a
+    // misbehaving server cannot park the client for minutes.
+    Millis retry_after{0};
+    const auto hint = response.fields.find("RETRY_AFTER_MS");
+    if (hint != response.fields.end()) {
+      const auto parsed = strings::parse_u64(hint->second);
+      if (parsed.has_value() && *parsed <= 60'000) {
+        retry_after = Millis(static_cast<std::int64_t>(*parsed));
+      }
+    }
+    throw ServerBusy(retry_after, message);
+  }
+  if (response.fields.count("WRONG_SHARD") != 0) {
+    // Must be checked before PRIMARY: a wrong-shard refusal also carries a
+    // PRIMARY field (the owning node's primary), and treating it as a
+    // replica redirect would lose the epoch and skip the map refresh.
+    std::uint64_t epoch = 0;
+    std::uint32_t shard = 0;
+    const auto epoch_field = response.fields.find("EPOCH");
+    if (epoch_field != response.fields.end()) {
+      epoch = strings::parse_u64(epoch_field->second).value_or(0);
+    }
+    const auto shard_field = response.fields.find("SHARD");
+    if (shard_field != response.fields.end()) {
+      const auto parsed = strings::parse_u64(shard_field->second);
+      if (parsed.has_value() && *parsed <= 0xffffffffULL) {
+        shard = static_cast<std::uint32_t>(*parsed);
+      }
+    }
+    throw WrongShardRedirect(epoch, shard,
+                             parse_port_hint(response, "PRIMARY"), message);
+  }
+  if (response.fields.count("PRIMARY") != 0) {
+    throw ReplicaRedirect(parse_port_hint(response, "PRIMARY"), message);
+  }
+  throw Error(ErrorCode::kProtocol, message);
+}
+
 Response MyProxyClient::transact(tls::TlsChannel& channel,
                                  const Request& request) {
   channel.send(request.serialize());
   const Response response = Response::parse(channel.receive());
-  if (!response.ok()) {
-    const std::string message = fmt::format(
-        "server refused {}: {}", to_string(request.command), response.error);
-    const auto busy = response.fields.find("BUSY");
-    if (busy != response.fields.end()) {
-      // Admission shed with a pacing hint. The hint is clamped so a
-      // misbehaving server cannot park the client for minutes.
-      Millis retry_after{0};
-      const auto hint = response.fields.find("RETRY_AFTER_MS");
-      if (hint != response.fields.end()) {
-        const auto parsed = strings::parse_u64(hint->second);
-        if (parsed.has_value() && *parsed <= 60'000) {
-          retry_after = Millis(static_cast<std::int64_t>(*parsed));
-        }
-      }
-      throw ServerBusy(retry_after, message);
-    }
-    const auto primary = response.fields.find("PRIMARY");
-    if (primary != response.fields.end()) {
-      // Strict parse; an unparseable or out-of-range hint degrades to 0
-      // (redirect with no usable target), never to a truncated port.
-      std::uint16_t primary_port = 0;
-      const auto hint = strings::parse_u64(primary->second);
-      if (hint.has_value() && *hint > 0 && *hint <= 0xffff) {
-        primary_port = static_cast<std::uint16_t>(*hint);
-      }
-      throw ReplicaRedirect(primary_port, message);
-    }
-    throw Error(ErrorCode::kProtocol, message);
-  }
+  check_response(response, request.command);
   return response;
+}
+
+cluster::ClusterMap MyProxyClient::fetch_cluster_map() {
+  return fetch_cluster_map_from(0);
+}
+
+cluster::ClusterMap MyProxyClient::fetch_cluster_map_from(
+    std::uint16_t preferred) {
+  // Candidate order: the node that just redirected us (it certainly holds
+  // a map, and a fresher one than ours), then every shard primary the
+  // current map names, then the configured endpoints.
+  std::vector<std::uint16_t> order;
+  const auto add = [&order](std::uint16_t port) {
+    if (port != 0 &&
+        std::find(order.begin(), order.end(), port) == order.end()) {
+      order.push_back(port);
+    }
+  };
+  add(preferred);
+  if (cluster_map_.has_value()) {
+    for (std::uint32_t shard = 0; shard < cluster_map_->shard_count();
+         ++shard) {
+      add(cluster_map_->node(shard).primary);
+    }
+  }
+  for (const std::uint16_t port : ports_) add(port);
+
+  std::string last_error = "no endpoints configured";
+  for (const std::uint16_t port : order) {
+    try {
+      auto channel = connect(port);
+      Request request;
+      request.command = Command::kClusterMap;
+      (void)transact(*channel, request);
+      // The serialized map follows the response as its own frame (response
+      // fields cannot carry newlines); parse() verifies its checksum.
+      cluster::ClusterMap map =
+          cluster::ClusterMap::parse(channel->receive());
+      cache_session(port, *channel);
+      // Epochs only advance: never let a lagging node roll our map back —
+      // re-routing by a newer map is at worst another bounded redirect.
+      if (!cluster_map_.has_value() || cluster_map_->empty() ||
+          map.epoch() >= cluster_map_->epoch()) {
+        cluster_map_ = std::move(map);
+      }
+      cluster_routing_ = true;
+      ++map_refreshes_;
+      return *cluster_map_;
+    } catch (const Error& e) {
+      // Unreachable node, or one without clustering enabled — try the next.
+      last_error = e.what();
+    }
+  }
+  throw IoError(
+      fmt::format("could not fetch a cluster map from any endpoint "
+                  "(last error: {})",
+                  last_error));
+}
+
+std::map<std::string, std::string> MyProxyClient::cluster_migrate(
+    std::uint32_t shard, std::uint16_t target_port) {
+  // MIGRATE must run on the shard's current owner; route there when a map
+  // is installed, else trust the caller pointed us at the owner.
+  std::uint16_t owner = ports_.front();
+  if (cluster_map_.has_value() && !cluster_map_->empty() &&
+      shard < cluster_map_->shard_count()) {
+    owner = cluster_map_->node(shard).primary;
+  }
+  auto channel = connect(owner);
+  Request request;
+  request.command = Command::kMigrate;
+  request.shard = shard;
+  request.target = std::to_string(target_port);
+  const Response response = transact(*channel, request);
+  cache_session(owner, *channel);
+  return response.fields;
 }
 
 void MyProxyClient::put(std::string_view username,
                         std::string_view pass_phrase,
                         const gsi::Credential& source,
                         const PutOptions& options) {
-  run_op(OpKind::kWrite, [&](std::uint16_t port) {
+  run_op(OpKind::kWrite, username, [&](std::uint16_t port) {
     auto channel = connect(port);
     Request request;
     request.command = Command::kPut;
@@ -294,12 +451,10 @@ void MyProxyClient::put(std::string_view username,
         gsi::delegate_credential(source, csr_pem, proxy_options);
     channel->send(chain_pem);
 
-    const Response final_response = Response::parse(channel->receive());
-    if (!final_response.ok()) {
-      throw Error(ErrorCode::kProtocol,
-                  fmt::format("server refused stored credential: {}",
-                              final_response.error));
-    }
+    // The refusal can arrive on this second response too (a migration
+    // fence or cutover raced the delegation exchange): map it to the same
+    // typed errors so the redirect/busy machinery retries the whole put.
+    check_response(Response::parse(channel->receive()), request.command);
     cache_session(port, *channel);
     log::info(kLogComponent, "delegated credential to repository as '{}'",
               username);
@@ -313,7 +468,7 @@ gsi::Credential MyProxyClient::get(std::string_view username,
   // An OTP retrieval consumes a chain word on the server — a write in
   // disguise — and must reach the primary.
   const OpKind kind = options.otp ? OpKind::kWrite : OpKind::kRead;
-  return run_op(kind, [&](std::uint16_t port) {
+  return run_op(kind, username, [&](std::uint16_t port) {
     auto channel = connect(port);
     Request request;
     request.command = Command::kGet;
@@ -341,7 +496,7 @@ gsi::Credential MyProxyClient::get(std::string_view username,
 
 gsi::Credential MyProxyClient::renew(std::string_view username,
                                      const GetOptions& options) {
-  return run_op(OpKind::kWrite, [&](std::uint16_t port) {
+  return run_op(OpKind::kWrite, username, [&](std::uint16_t port) {
     auto channel = connect(port);
     Request request;
     request.command = Command::kRenew;
@@ -363,7 +518,7 @@ gsi::Credential MyProxyClient::renew(std::string_view username,
 
 void MyProxyClient::destroy(std::string_view username,
                             std::string_view name) {
-  run_op(OpKind::kWrite, [&](std::uint16_t port) {
+  run_op(OpKind::kWrite, username, [&](std::uint16_t port) {
     auto channel = connect(port);
     Request request;
     request.command = Command::kDestroy;
@@ -377,7 +532,7 @@ void MyProxyClient::destroy(std::string_view username,
 
 StoredCredentialInfo MyProxyClient::info(std::string_view username,
                                          std::string_view name) {
-  return run_op(OpKind::kRead, [&](std::uint16_t port) {
+  return run_op(OpKind::kRead, username, [&](std::uint16_t port) {
     auto channel = connect(port);
     Request request;
     request.command = Command::kInfo;
@@ -414,7 +569,7 @@ StoredCredentialInfo MyProxyClient::info(std::string_view username,
 }
 
 std::vector<std::string> MyProxyClient::list(std::string_view username) {
-  return run_op(OpKind::kRead, [&](std::uint16_t port) {
+  return run_op(OpKind::kRead, username, [&](std::uint16_t port) {
     auto channel = connect(port);
     Request request;
     request.command = Command::kList;
@@ -429,7 +584,7 @@ std::vector<std::string> MyProxyClient::list(std::string_view username) {
 
 std::string MyProxyClient::select_for_task(std::string_view username,
                                            std::string_view task) {
-  return run_op(OpKind::kRead, [&](std::uint16_t port) {
+  return run_op(OpKind::kRead, username, [&](std::uint16_t port) {
     auto channel = connect(port);
     Request request;
     request.command = Command::kList;
@@ -449,7 +604,7 @@ void MyProxyClient::change_passphrase(std::string_view username,
                                       std::string_view old_phrase,
                                       std::string_view new_phrase,
                                       std::string_view name) {
-  run_op(OpKind::kWrite, [&](std::uint16_t port) {
+  run_op(OpKind::kWrite, username, [&](std::uint16_t port) {
     auto channel = connect(port);
     Request request;
     request.command = Command::kChangePassphrase;
@@ -467,7 +622,7 @@ void MyProxyClient::store(std::string_view username,
                           std::string_view pass_phrase,
                           const gsi::Credential& credential,
                           const PutOptions& options) {
-  run_op(OpKind::kWrite, [&](std::uint16_t port) {
+  run_op(OpKind::kWrite, username, [&](std::uint16_t port) {
     auto channel = connect(port);
     Request request;
     request.command = Command::kStore;
@@ -483,12 +638,9 @@ void MyProxyClient::store(std::string_view username,
 
     const SecureBuffer pem = credential.to_pem();
     channel->send(pem.view());
-    const Response final_response = Response::parse(channel->receive());
-    if (!final_response.ok()) {
-      throw Error(ErrorCode::kProtocol,
-                  fmt::format("server refused stored credential: {}",
-                              final_response.error));
-    }
+    // Same as put(): a fence/cutover refusal on the second response must
+    // stay retryable, not collapse into a plain protocol error.
+    check_response(Response::parse(channel->receive()), request.command);
     cache_session(port, *channel);
     return 0;
   });
@@ -497,7 +649,7 @@ void MyProxyClient::store(std::string_view username,
 gsi::Credential MyProxyClient::retrieve(std::string_view username,
                                         std::string_view pass_phrase,
                                         std::string_view name) {
-  return run_op(OpKind::kRead, [&](std::uint16_t port) {
+  return run_op(OpKind::kRead, username, [&](std::uint16_t port) {
     auto channel = connect(port);
     Request request;
     request.command = Command::kRetrieve;
@@ -512,7 +664,7 @@ gsi::Credential MyProxyClient::retrieve(std::string_view username,
 }
 
 std::map<std::string, std::string> MyProxyClient::server_stats() {
-  return run_op(OpKind::kRead, [&](std::uint16_t port) {
+  return run_op(OpKind::kRead, {}, [&](std::uint16_t port) {
     auto channel = connect(port);
     Request request;
     request.command = Command::kStats;

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/cluster_map.hpp"
 #include "common/clock.hpp"
 #include "common/error.hpp"
 #include "crypto/keypair_pool.hpp"
@@ -83,6 +84,13 @@ struct RetryPolicy {
   /// Per-read/per-write deadline for the TLS handshake and all subsequent
   /// protocol I/O (0 = none): a stalled repository cannot hang the client.
   Millis io_timeout{30000};
+
+  /// Redirect hop budget shared by replica (PRIMARY) and cluster
+  /// (WRONG_SHARD) redirects within one operation. Each hop acts on
+  /// information a server just handed us, but a cycle of servers pointing
+  /// at each other must terminate: past the budget the operation fails
+  /// with RedirectLoop.
+  int max_redirect_hops = 3;
 };
 
 /// INFO result (metadata only; never key material).
@@ -127,6 +135,41 @@ class ServerBusy : public Error {
 
  private:
   Millis retry_after_;
+};
+
+/// The server does not own the target user's shard and named the current
+/// owner and map epoch. run_op refreshes the cluster map and retries at
+/// the owner, within the shared redirect hop budget.
+class WrongShardRedirect : public Error {
+ public:
+  WrongShardRedirect(std::uint64_t epoch, std::uint32_t shard,
+                     std::uint16_t primary_hint, const std::string& message)
+      : Error(ErrorCode::kPolicy, message),
+        epoch_(epoch),
+        shard_(shard),
+        primary_hint_(primary_hint) {}
+
+  /// Map epoch the refusing server holds (newer than ours on a stale map).
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  [[nodiscard]] std::uint32_t shard() const noexcept { return shard_; }
+  /// Primary port of the shard's owner per the refusing server (0 = none).
+  [[nodiscard]] std::uint16_t primary_hint() const noexcept {
+    return primary_hint_;
+  }
+
+ private:
+  std::uint64_t epoch_;
+  std::uint32_t shard_;
+  std::uint16_t primary_hint_;
+};
+
+/// An operation burned through RetryPolicy::max_redirect_hops redirects
+/// without landing on an owner — servers are pointing at each other
+/// (mid-migration churn, or inconsistent maps).
+class RedirectLoop : public Error {
+ public:
+  explicit RedirectLoop(const std::string& message)
+      : Error(ErrorCode::kPolicy, message) {}
 };
 
 class MyProxyClient {
@@ -241,25 +284,81 @@ class MyProxyClient {
     return server_identity_;
   }
 
+  // --- Cluster routing --------------------------------------------------------
+
+  /// Route operations by the cluster shard map: hash the target username,
+  /// send writes to the owning node's primary and reads to its replicas.
+  /// Without a map installed (or fetched), operations use the plain
+  /// endpoint list until a WRONG_SHARD refusal teaches us better.
+  void set_cluster_routing(bool enabled) { cluster_routing_ = enabled; }
+
+  /// Install a shard map directly (config-distributed maps, tests) and
+  /// enable routing.
+  void set_cluster_map(cluster::ClusterMap map) {
+    cluster_map_ = std::move(map);
+    cluster_routing_ = true;
+  }
+
+  /// The map this client currently routes by (nullopt until installed or
+  /// fetched).
+  [[nodiscard]] const std::optional<cluster::ClusterMap>& cluster_map()
+      const {
+    return cluster_map_;
+  }
+
+  /// Fetch the shard map from the cluster (CLUSTER_MAP command), install
+  /// it, enable routing, and return it.
+  cluster::ClusterMap fetch_cluster_map();
+
+  /// Admin: move `shard` to the node whose primary listens on
+  /// `target_port` (MIGRATE). Returns the server's result fields
+  /// (MOVED_USERS / MOVED_RECORDS / EPOCH). Sent to the shard's current
+  /// owner when a map is installed, else to the first endpoint.
+  std::map<std::string, std::string> cluster_migrate(
+      std::uint32_t shard, std::uint16_t target_port);
+
+  /// Routing observability for tests: WRONG_SHARD refusals followed, and
+  /// cluster-map fetches performed.
+  [[nodiscard]] std::uint64_t wrong_shard_redirects() const {
+    return wrong_shard_redirects_;
+  }
+  [[nodiscard]] std::uint64_t map_refreshes() const { return map_refreshes_; }
+
  private:
   /// Whether an operation mutates the repository — decides which endpoint
   /// order run_op tries. OTP-authenticated reads count as writes (OTP
   /// verification advances the chain on the server).
   enum class OpKind { kRead, kWrite };
 
-  /// Endpoint order for `kind`. Writes go to the primary only — replicas
-  /// cannot accept them and there is no automatic promotion, so failing
-  /// over a write could at best replay it and at worst misreport its
-  /// outcome. Reads try replicas first with the primary as the last
+  /// Endpoint order for `kind`. With cluster routing and a map, the order
+  /// comes from `username`'s owning node (its primary for writes, replicas
+  /// then primary for reads). Otherwise: writes go to the primary only —
+  /// replicas cannot accept them and there is no automatic promotion, so
+  /// failing over a write could at best replay it and at worst misreport
+  /// its outcome; reads try replicas first with the primary as the last
   /// resort.
-  [[nodiscard]] std::vector<std::uint16_t> candidates(OpKind kind) const;
+  [[nodiscard]] std::vector<std::uint16_t> candidates(
+      OpKind kind, std::string_view username) const;
 
   /// Run `fn(port)` against each candidate endpoint until one succeeds.
   /// Transport failures (IoError — endpoint dead or unreachable after
   /// connect()'s own retries) and read-only refusals (ReplicaRedirect)
-  /// move to the next endpoint; everything else propagates unchanged.
+  /// move to the next endpoint. Redirects that carry a destination — a
+  /// replica naming its primary, a clustered node naming a shard's owner —
+  /// are followed (refreshing the cluster map for WRONG_SHARD) within
+  /// RetryPolicy::max_redirect_hops. Everything else propagates unchanged.
   template <typename Fn>
-  auto run_op(OpKind kind, Fn&& fn) -> decltype(fn(std::uint16_t{}));
+  auto run_op(OpKind kind, std::string_view username, Fn&& fn)
+      -> decltype(fn(std::uint16_t{}));
+
+  /// Fetch + install the cluster map, trying `preferred` (when non-zero)
+  /// before the configured endpoints and any known shard primaries.
+  cluster::ClusterMap fetch_cluster_map_from(std::uint16_t preferred);
+
+  /// Map a refused response to the typed error it encodes (ServerBusy,
+  /// WrongShardRedirect, ReplicaRedirect, or plain Error). No-op when ok.
+  void check_response(const protocol::Response& response,
+                      protocol::Command command);
 
   /// Run `fn(port)` against one endpoint, retrying ServerBusy refusals
   /// after sleeping max(own backoff, server retry-after hint).
@@ -309,6 +408,11 @@ class MyProxyClient {
   std::shared_ptr<crypto::KeyPairPool> key_pool_;
   std::uint64_t resumed_connections_ = 0;
   std::uint64_t full_connections_ = 0;
+
+  bool cluster_routing_ = false;
+  std::optional<cluster::ClusterMap> cluster_map_;
+  std::uint64_t wrong_shard_redirects_ = 0;
+  std::uint64_t map_refreshes_ = 0;
 };
 
 }  // namespace myproxy::client

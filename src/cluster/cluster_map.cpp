@@ -1,0 +1,297 @@
+#include "cluster/cluster_map.hpp"
+
+#include <algorithm>
+
+#include "common/config.hpp"
+#include "common/error.hpp"
+#include "common/format.hpp"
+#include "common/strings.hpp"
+
+namespace myproxy::cluster {
+
+namespace {
+
+constexpr std::string_view kHeader = "myproxy-clustermap-v1";
+
+std::string checksum_hex(std::string_view body) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  std::uint64_t v = strings::fnv1a64(body);
+  for (std::size_t i = out.size(); i-- > 0; v >>= 4) {
+    out[i] = kDigits[v & 0xf];
+  }
+  return out;
+}
+
+std::uint16_t parse_port(std::string_view text) {
+  const auto value = strings::parse_u64(text);
+  if (!value.has_value() || *value == 0 || *value > 0xffff) {
+    throw ParseError(fmt::format("cluster map: bad port '{}'", text));
+  }
+  return static_cast<std::uint16_t>(*value);
+}
+
+/// "<primary>[,<replica>...]" -> ShardNode.
+ShardNode parse_endpoints(std::string_view text) {
+  ShardNode node;
+  const auto parts = strings::split(text, ',');
+  if (parts.empty() || parts.front().empty()) {
+    throw ParseError("cluster map: empty endpoint list");
+  }
+  node.primary = parse_port(parts.front());
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    node.replicas.push_back(parse_port(parts[i]));
+  }
+  return node;
+}
+
+std::string format_endpoints(const ShardNode& node) {
+  std::string out = std::to_string(node.primary);
+  for (const std::uint16_t replica : node.replicas) {
+    out += ',';
+    out += std::to_string(replica);
+  }
+  return out;
+}
+
+}  // namespace
+
+ClusterMap::ClusterMap(std::uint64_t epoch, std::vector<ShardNode> shards)
+    : epoch_(epoch), shards_(std::move(shards)) {
+  if (shards_.empty()) {
+    throw ConfigError("cluster map requires at least one shard");
+  }
+  for (const ShardNode& node : shards_) {
+    if (node.primary == 0) {
+      throw ConfigError("cluster map shard has no primary endpoint");
+    }
+  }
+}
+
+ClusterMap ClusterMap::balanced(const std::vector<ShardNode>& nodes,
+                                std::size_t shard_count,
+                                std::uint64_t epoch) {
+  if (nodes.empty()) {
+    throw ConfigError("cluster map requires at least one node");
+  }
+  if (shard_count == 0) {
+    throw ConfigError("cluster map requires at least one shard slot");
+  }
+  HashRing ring;
+  for (const ShardNode& node : nodes) {
+    ring.add_node(fmt::format("node-{}", node.primary));
+  }
+  std::vector<ShardNode> shards(shard_count);
+  std::map<std::uint16_t, std::vector<std::size_t>> owned;
+  for (std::size_t slot = 0; slot < shard_count; ++slot) {
+    const std::string& name = ring.node_for(fmt::format("shard-{}", slot));
+    const auto owner = std::find_if(
+        nodes.begin(), nodes.end(), [&name](const ShardNode& node) {
+          return fmt::format("node-{}", node.primary) == name;
+        });
+    shards[slot] = *owner;
+    owned[owner->primary].push_back(slot);
+  }
+  // The ring can skip a member entirely when slots are few — but a primary
+  // that owns no shard joins the cluster and serves nothing. Whenever there
+  // are at least as many slots as members, deterministically re-home one
+  // slot from the heaviest owner to each slotless member (ordered by port,
+  // so the result is independent of the caller's node order).
+  if (shard_count >= nodes.size()) {
+    std::vector<const ShardNode*> sorted;
+    for (const ShardNode& node : nodes) sorted.push_back(&node);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const ShardNode* a, const ShardNode* b) {
+                return a->primary < b->primary;
+              });
+    for (const ShardNode* node : sorted) {
+      if (!owned[node->primary].empty()) continue;
+      auto donor = owned.begin();
+      for (auto it = owned.begin(); it != owned.end(); ++it) {
+        if (it->second.size() > donor->second.size()) donor = it;
+      }
+      const std::size_t slot = donor->second.back();
+      donor->second.pop_back();
+      shards[slot] = *node;
+      owned[node->primary].push_back(slot);
+    }
+  }
+  return ClusterMap(epoch, std::move(shards));
+}
+
+std::uint32_t ClusterMap::shard_of(std::string_view username) const {
+  if (shards_.empty()) {
+    throw ConfigError("cluster map is empty");
+  }
+  return static_cast<std::uint32_t>(strings::fnv1a64(username) %
+                                    shards_.size());
+}
+
+const ShardNode& ClusterMap::node(std::uint32_t shard) const {
+  if (shard >= shards_.size()) {
+    throw ConfigError(fmt::format("cluster map has no shard {}", shard));
+  }
+  return shards_[shard];
+}
+
+const ShardNode& ClusterMap::owner(std::string_view username) const {
+  return shards_[shard_of(username)];
+}
+
+bool ClusterMap::owns(std::uint16_t primary_port, std::uint32_t shard) const {
+  return shard < shards_.size() && shards_[shard].primary == primary_port;
+}
+
+std::vector<std::uint32_t> ClusterMap::owned_shards(
+    std::uint16_t primary_port) const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t shard = 0; shard < shards_.size(); ++shard) {
+    if (shards_[shard].primary == primary_port) out.push_back(shard);
+  }
+  return out;
+}
+
+void ClusterMap::reassign(std::uint32_t shard, ShardNode node,
+                          std::uint64_t new_epoch) {
+  if (shard >= shards_.size()) {
+    throw ConfigError(fmt::format("cluster map has no shard {}", shard));
+  }
+  if (node.primary == 0) {
+    throw ConfigError("cluster map shard has no primary endpoint");
+  }
+  if (new_epoch <= epoch_) {
+    throw ConfigError(fmt::format(
+        "cluster map epoch must advance ({} -> {})", epoch_, new_epoch));
+  }
+  shards_[shard] = std::move(node);
+  epoch_ = new_epoch;
+}
+
+ShardNode ClusterMap::node_endpoints(std::uint16_t primary_port) const {
+  for (const ShardNode& node : shards_) {
+    if (node.primary == primary_port) return node;
+  }
+  ShardNode fresh;
+  fresh.primary = primary_port;
+  return fresh;
+}
+
+std::string ClusterMap::serialize() const {
+  std::string body;
+  body += kHeader;
+  body += '\n';
+  body += fmt::format("EPOCH {}\n", epoch_);
+  body += fmt::format("SHARDS {}\n", shards_.size());
+  for (std::size_t slot = 0; slot < shards_.size(); ++slot) {
+    body += fmt::format("S {} {}\n", slot, format_endpoints(shards_[slot]));
+  }
+  return body + fmt::format("CHECKSUM {}\n", checksum_hex(body));
+}
+
+ClusterMap ClusterMap::parse(std::string_view text) {
+  const std::size_t checksum_at = text.rfind("CHECKSUM ");
+  if (checksum_at == std::string_view::npos) {
+    throw ParseError("cluster map missing CHECKSUM");
+  }
+  const std::string_view body = text.substr(0, checksum_at);
+  const std::string_view sum_line =
+      strings::trim(text.substr(checksum_at + 9));
+  if (sum_line != checksum_hex(body)) {
+    throw ParseError("cluster map checksum mismatch");
+  }
+
+  std::uint64_t epoch = 0;
+  std::size_t declared = 0;
+  bool have_header = false, have_epoch = false, have_count = false;
+  std::vector<ShardNode> shards;
+  for (const auto& line : strings::split(body, '\n')) {
+    if (line.empty()) continue;
+    if (!have_header) {
+      if (line != kHeader) {
+        throw ParseError(fmt::format("bad cluster map header '{}'", line));
+      }
+      have_header = true;
+    } else if (line.rfind("EPOCH ", 0) == 0) {
+      const auto value = strings::parse_u64(line.substr(6));
+      if (!value.has_value()) throw ParseError("bad cluster map EPOCH");
+      epoch = *value;
+      have_epoch = true;
+    } else if (line.rfind("SHARDS ", 0) == 0) {
+      const auto value = strings::parse_u64(line.substr(7));
+      if (!value.has_value() || *value == 0 || *value > 65536) {
+        throw ParseError("bad cluster map SHARDS count");
+      }
+      declared = static_cast<std::size_t>(*value);
+      have_count = true;
+    } else if (line.rfind("S ", 0) == 0) {
+      const auto fields = strings::split_trimmed(line.substr(2), ' ');
+      if (fields.size() != 2) {
+        throw ParseError(fmt::format("bad cluster map shard line '{}'", line));
+      }
+      const auto slot = strings::parse_u64(fields[0]);
+      // Shard lines must arrive dense and in order so a duplicated or
+      // dropped line cannot silently shift ownership.
+      if (!slot.has_value() || *slot != shards.size()) {
+        throw ParseError(
+            fmt::format("cluster map shard ids not dense at '{}'", line));
+      }
+      shards.push_back(parse_endpoints(fields[1]));
+    } else {
+      throw ParseError(fmt::format("unknown cluster map line '{}'", line));
+    }
+  }
+  if (!have_header || !have_epoch || !have_count) {
+    throw ParseError("cluster map missing header fields");
+  }
+  if (shards.size() != declared) {
+    throw ParseError(fmt::format("cluster map declares {} shards, found {}",
+                                 declared, shards.size()));
+  }
+  try {
+    return ClusterMap(epoch, std::move(shards));
+  } catch (const ConfigError& e) {
+    throw ParseError(e.what());
+  }
+}
+
+ClusterMap cluster_map_from_config(const Config& config) {
+  const std::vector<std::string> lines = config.get_all("cluster_shard");
+  if (lines.empty()) return {};
+  std::uint64_t epoch = 1;
+  if (config.has("cluster_epoch")) {
+    const auto value = strings::parse_u64(config.get("cluster_epoch"));
+    if (!value.has_value() || *value == 0) {
+      throw ConfigError("cluster_epoch must be a positive integer");
+    }
+    epoch = *value;
+  }
+  std::vector<ShardNode> shards(lines.size());
+  std::vector<bool> seen(lines.size(), false);
+  for (const std::string& line : lines) {
+    const auto fields = strings::split_trimmed(line, ' ');
+    if (fields.size() != 2) {
+      throw ConfigError(fmt::format(
+          "cluster_shard expects '<shard> <primary>[,<replica>...]', got "
+          "'{}'",
+          line));
+    }
+    const auto slot = strings::parse_u64(fields[0]);
+    if (!slot.has_value() || *slot >= shards.size()) {
+      throw ConfigError(fmt::format(
+          "cluster_shard id {} out of range (0..{})", fields[0],
+          shards.size() - 1));
+    }
+    if (seen[*slot]) {
+      throw ConfigError(fmt::format("duplicate cluster_shard id {}", *slot));
+    }
+    seen[*slot] = true;
+    try {
+      shards[*slot] = parse_endpoints(fields[1]);
+    } catch (const ParseError& e) {
+      throw ConfigError(e.what());
+    }
+  }
+  return ClusterMap(epoch, std::move(shards));
+}
+
+}  // namespace myproxy::cluster

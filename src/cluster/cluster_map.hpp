@@ -1,0 +1,115 @@
+// Versioned cluster map: which primary owns which user shard.
+//
+// One MyProxy primary absorbs every write for every user (paper §4); the
+// cluster layer splits the user population across N primaries, each with
+// its own replica set. Usernames hash onto a fixed number of shard slots
+// (strings::fnv1a64 — the same stable hash the on-disk store shards with),
+// and the map assigns every slot to a node. Slot assignment is produced by
+// a consistent-hash ring over the node names (HashRing), so adding or
+// removing a node re-homes only ~1/N of the slots.
+//
+// The map is versioned by an epoch. Every server in the cluster holds a
+// copy, enforces ownership (a request for a user it does not own is refused
+// with a WRONG_SHARD frame naming the owner and this epoch), and serves the
+// map to clients over the CLUSTER_MAP admin command. Shard migration bumps
+// the epoch; a stale client discovers the bump through the WRONG_SHARD
+// refusal, refetches, and retries.
+//
+// Serialized form (text, checksummed like the replication journal):
+//   myproxy-clustermap-v1
+//   EPOCH <epoch>
+//   SHARDS <count>
+//   S <shard> <primary_port>[,<replica_port>...]
+//   CHECKSUM <fnv1a64-hex of everything above>
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/hash_ring.hpp"
+
+namespace myproxy {
+class Config;
+}
+
+namespace myproxy::cluster {
+
+/// Endpoints of one cluster node: the primary plus its replica set. The
+/// reproduction runs single-host, so an endpoint is a TCP port.
+struct ShardNode {
+  std::uint16_t primary = 0;
+  std::vector<std::uint16_t> replicas;
+
+  friend bool operator==(const ShardNode& a, const ShardNode& b) {
+    return a.primary == b.primary && a.replicas == b.replicas;
+  }
+};
+
+class ClusterMap {
+ public:
+  ClusterMap() = default;
+  ClusterMap(std::uint64_t epoch, std::vector<ShardNode> shards);
+
+  /// Build a map by assigning `shard_count` slots across `nodes` with a
+  /// consistent-hash ring keyed on each node's primary port. Deterministic:
+  /// the same node set yields the same assignment in any order.
+  [[nodiscard]] static ClusterMap balanced(const std::vector<ShardNode>& nodes,
+                                           std::size_t shard_count,
+                                           std::uint64_t epoch);
+
+  [[nodiscard]] bool empty() const { return shards_.empty(); }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] std::uint32_t shard_count() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+
+  /// Shard slot for `username` (fnv1a64 % shard_count).
+  [[nodiscard]] std::uint32_t shard_of(std::string_view username) const;
+
+  [[nodiscard]] const ShardNode& node(std::uint32_t shard) const;
+  [[nodiscard]] const ShardNode& owner(std::string_view username) const;
+
+  /// True when the node whose primary listens on `primary_port` owns
+  /// `shard`.
+  [[nodiscard]] bool owns(std::uint16_t primary_port,
+                          std::uint32_t shard) const;
+
+  /// Shards assigned to the node with this primary port.
+  [[nodiscard]] std::vector<std::uint32_t> owned_shards(
+      std::uint16_t primary_port) const;
+
+  /// Hand `shard` to `node` and advance the epoch to `new_epoch` (must be
+  /// greater than the current epoch). The migration cutover calls this on
+  /// both ends once the moved records are installed.
+  void reassign(std::uint32_t shard, ShardNode node, std::uint64_t new_epoch);
+
+  /// Endpoints of the node already holding `primary_port`, or a bare
+  /// {primary_port} node when the map has never seen it (a fresh node
+  /// receiving its first shard).
+  [[nodiscard]] ShardNode node_endpoints(std::uint16_t primary_port) const;
+
+  [[nodiscard]] std::string serialize() const;
+
+  /// Parse + validate (header, dense shard ids, ports, checksum). Throws
+  /// ParseError on any corruption — a client must never route on a map
+  /// that arrived damaged.
+  [[nodiscard]] static ClusterMap parse(std::string_view text);
+
+  friend bool operator==(const ClusterMap& a, const ClusterMap& b) {
+    return a.epoch_ == b.epoch_ && a.shards_ == b.shards_;
+  }
+
+ private:
+  std::uint64_t epoch_ = 0;
+  std::vector<ShardNode> shards_;  ///< index = shard slot
+};
+
+/// Load a map from parsed config keys:
+///   cluster_epoch <n>                          (default 1)
+///   cluster_shard "<shard> <primary>[,<replica>...]"   (repeatable)
+/// Returns an empty map when no cluster_shard keys are present.
+[[nodiscard]] ClusterMap cluster_map_from_config(const Config& config);
+
+}  // namespace myproxy::cluster

@@ -1,0 +1,80 @@
+#include "cluster/hash_ring.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+#include "common/strings.hpp"
+
+namespace myproxy::cluster {
+
+namespace {
+
+// FNV-1a has almost no avalanche in its final bytes: short names differing
+// only in a trailing counter ("node-7001#0" … "node-7001#127") hash into one
+// tight band, which collapses every vnode of a node onto a single arc and
+// degenerates the ring to one point per node. Finish with a murmur3-style
+// 64-bit mixer so ring points (and key lookups) spread uniformly while the
+// underlying name hash stays the repository's stable FNV-1a.
+std::uint64_t ring_point(std::string_view text) {
+  std::uint64_t h = strings::fnv1a64(text);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+HashRing::HashRing(std::size_t vnodes) : vnodes_(std::max<std::size_t>(1, vnodes)) {}
+
+void HashRing::add_node(const std::string& name) {
+  if (name.empty()) throw ConfigError("ring node name must not be empty");
+  if (contains(name)) return;
+  nodes_.push_back(name);
+  for (std::size_t i = 0; i < vnodes_; ++i) {
+    const std::uint64_t point = ring_point(fmt::format("{}#{}", name, i));
+    auto [it, inserted] = ring_.try_emplace(point, name);
+    if (!inserted && name < it->second) it->second = name;
+  }
+}
+
+void HashRing::remove_node(const std::string& name) {
+  const auto node = std::find(nodes_.begin(), nodes_.end(), name);
+  if (node == nodes_.end()) return;
+  nodes_.erase(node);
+  for (std::size_t i = 0; i < vnodes_; ++i) {
+    const std::uint64_t point = ring_point(fmt::format("{}#{}", name, i));
+    const auto it = ring_.find(point);
+    if (it == ring_.end() || it->second != name) continue;  // collision lost
+    ring_.erase(it);
+    // If another node collided on this point, restore its (smallest) owner.
+    std::string replacement;
+    for (const auto& other : nodes_) {
+      for (std::size_t j = 0; j < vnodes_; ++j) {
+        if (ring_point(fmt::format("{}#{}", other, j)) != point) {
+          continue;
+        }
+        if (replacement.empty() || other < replacement) replacement = other;
+      }
+    }
+    if (!replacement.empty()) ring_.emplace(point, replacement);
+  }
+}
+
+bool HashRing::contains(const std::string& name) const {
+  return std::find(nodes_.begin(), nodes_.end(), name) != nodes_.end();
+}
+
+const std::string& HashRing::node_for(std::string_view key) const {
+  if (ring_.empty()) {
+    throw ConfigError("consistent-hash ring has no nodes");
+  }
+  auto it = ring_.lower_bound(ring_point(key));
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+}  // namespace myproxy::cluster

@@ -1,0 +1,49 @@
+// Consistent-hash ring over named nodes.
+//
+// The cluster layer partitions users across N primaries; the partitioning
+// function must (a) spread 10k+ usernames evenly, and (b) move only ~1/N of
+// the keys when a node joins or leaves — a plain `hash % N` re-homes almost
+// every user on any membership change, which would turn each scale-out into
+// a full-cluster migration. A classic Karger ring fixes both: every node
+// projects `vnodes` points onto a 64-bit ring (FNV-1a of "<name>#<i>" — the
+// same stable hash the sharded store uses for on-disk placement — finished
+// with a 64-bit mixer so the points actually spread), and a key
+// belongs to the first node point at or clockwise of its own hash. Adding a
+// node only steals arcs for the new node; removing one only reassigns the
+// removed node's arcs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace myproxy::cluster {
+
+class HashRing {
+ public:
+  /// `vnodes`: ring points per node. 128 keeps the max/mean load of a
+  /// 4-node ring within ~15% for 10k keys (see ClusterRing property test).
+  explicit HashRing(std::size_t vnodes = 128);
+
+  void add_node(const std::string& name);
+  void remove_node(const std::string& name);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  /// Owning node for `key` (the first ring point clockwise of hash(key),
+  /// wrapping). Throws ConfigError when the ring is empty.
+  [[nodiscard]] const std::string& node_for(std::string_view key) const;
+
+ private:
+  std::size_t vnodes_;
+  /// point -> node name. Point collisions between different nodes resolve
+  /// to the lexicographically smaller name so iteration order (and thus
+  /// ownership) is deterministic regardless of insertion order.
+  std::map<std::uint64_t, std::string> ring_;
+  std::vector<std::string> nodes_;
+};
+
+}  // namespace myproxy::cluster

@@ -99,6 +99,15 @@ std::optional<std::int64_t> parse_i64(std::string_view s) noexcept {
   return value;
 }
 
+std::uint64_t fnv1a64(std::string_view text) noexcept {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const unsigned char c : text) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
 bool constant_time_equals(std::string_view a, std::string_view b) noexcept {
   // Fold the length difference into the accumulator rather than returning
   // early, so timing does not reveal the length match either.

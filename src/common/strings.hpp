@@ -42,6 +42,12 @@ namespace myproxy::strings {
 [[nodiscard]] std::optional<std::int64_t> parse_i64(
     std::string_view s) noexcept;
 
+/// FNV-1a 64-bit hash. Stable across processes and platforms — the on-disk
+/// shard of a username, a journal line checksum, and a cluster shard
+/// assignment must never depend on the run-time behaviour of std::hash.
+/// One definition here so every placement decision agrees byte-for-byte.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view text) noexcept;
+
 /// Constant-time equality for secrets (pass phrases, MACs). Always touches
 /// every byte of both inputs regardless of where they first differ.
 [[nodiscard]] bool constant_time_equals(std::string_view a,

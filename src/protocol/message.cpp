@@ -35,7 +35,7 @@ std::int64_t parse_int(std::string_view key, std::string_view value) {
 
 Command parse_command(std::string_view value) {
   const std::int64_t n = parse_int("COMMAND", value);
-  if (n < 0 || n > static_cast<std::int64_t>(Command::kStats)) {
+  if (n < 0 || n > static_cast<std::int64_t>(kLastCommand)) {
     throw ProtocolError(fmt::format("unknown command code {}", n));
   }
   return static_cast<Command>(n);
@@ -67,6 +67,12 @@ std::string_view to_string(Command command) noexcept {
       return "REPLICA_SYNC";
     case Command::kStats:
       return "STATS";
+    case Command::kClusterMap:
+      return "CLUSTER_MAP";
+    case Command::kMigrate:
+      return "MIGRATE";
+    case Command::kMigrateInstall:
+      return "MIGRATE_INSTALL";
   }
   return "?";
 }
@@ -107,9 +113,16 @@ std::string Request::serialize() const {
     append_field(out, "RESTRICTION", *restriction);
   }
   if (!task.empty()) append_field(out, "TASK", task);
-  if (command == Command::kReplicaSync) {
+  // SEQ doubles as the migration epoch on MIGRATE_INSTALL (both are u64
+  // stream positions the receiver validates strictly).
+  if (command == Command::kReplicaSync ||
+      command == Command::kMigrateInstall) {
     append_field(out, "SEQ", std::to_string(sequence));
   }
+  if (command == Command::kMigrate || command == Command::kMigrateInstall) {
+    append_field(out, "SHARD", std::to_string(shard));
+  }
+  if (!target.empty()) append_field(out, "TARGET", target);
   return out;
 }
 
@@ -169,6 +182,14 @@ Request Request::parse(std::string_view text) {
       const std::int64_t seq = parse_int(key, value);
       if (seq < 0) throw ProtocolError("negative sequence");
       request.sequence = static_cast<std::uint64_t>(seq);
+    } else if (key == "SHARD") {
+      const std::int64_t shard = parse_int(key, value);
+      if (shard < 0 || shard > 0xffffffffLL) {
+        throw ProtocolError("shard id out of range");
+      }
+      request.shard = static_cast<std::uint32_t>(shard);
+    } else if (key == "TARGET") {
+      request.target = value;
     } else {
       // Unknown keys are ignored for forward compatibility (§6.4 plans a
       // standardized protocol; old servers must tolerate new fields).

@@ -42,7 +42,13 @@ enum class Command {
   kRenew = 8,             ///< refresh a job's proxy (§6.6, Condor-G support)
   kReplicaSync = 9,       ///< replica requests a snapshot / journal stream
   kStats = 10,            ///< dump server counters (admin tooling)
+  kClusterMap = 11,       ///< fetch the versioned shard map (cluster routing)
+  kMigrate = 12,          ///< admin: move a shard to another primary
+  kMigrateInstall = 13,   ///< server-to-server: receive a migrating shard
 };
+
+/// Largest Command value; sizes per-op tables (latency histograms).
+inline constexpr Command kLastCommand = Command::kMigrateInstall;
 
 [[nodiscard]] std::string_view to_string(Command command) noexcept;
 
@@ -84,6 +90,10 @@ struct Request {
   /// REPLICA_SYNC: last journal sequence the replica has applied (0 = no
   /// usable state; the primary answers with a snapshot).
   std::uint64_t sequence = 0;
+  /// MIGRATE / MIGRATE_INSTALL: the shard slot being moved.
+  std::uint32_t shard = 0;
+  /// MIGRATE: "<primary_port>" of the node receiving the shard.
+  std::string target;
 
   [[nodiscard]] std::string serialize() const;
   static Request parse(std::string_view text);

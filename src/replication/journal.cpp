@@ -22,14 +22,7 @@ constexpr std::string_view kJournalHeader = "myproxy-journal-v1";
 
 /// Same stable hash the sharded store uses for shard placement; here it
 /// detects torn or bit-rotted journal lines.
-std::uint64_t fnv1a64(std::string_view text) {
-  std::uint64_t hash = 1469598103934665603ULL;
-  for (const unsigned char c : text) {
-    hash ^= c;
-    hash *= 1099511628211ULL;
-  }
-  return hash;
-}
+using strings::fnv1a64;
 
 std::string checksum_hex(std::uint64_t sequence, OpType type,
                          std::string_view encoded_payload) {

@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "common/format.hpp"
 #include "common/logging.hpp"
+#include "common/strings.hpp"
 
 namespace myproxy::replication {
 
@@ -18,14 +19,7 @@ constexpr std::string_view kLogComponent = "replication";
 /// idempotent replay.
 constexpr std::uint64_t kWatermarkEvery = 256;
 
-std::uint64_t fnv1a64(std::string_view text) {
-  std::uint64_t hash = 1469598103934665603ULL;
-  for (const unsigned char c : text) {
-    hash ^= c;
-    hash *= 1099511628211ULL;
-  }
-  return hash;
-}
+using strings::fnv1a64;
 
 }  // namespace
 

@@ -37,15 +37,9 @@ void append_line(std::string& out, std::string_view key,
 }
 
 /// Stable across processes and platforms — the on-disk shard of a username
-/// must never depend on the run-time behaviour of std::hash.
-std::uint64_t fnv1a64(std::string_view text) {
-  std::uint64_t hash = 1469598103934665603ULL;
-  for (const unsigned char c : text) {
-    hash ^= c;
-    hash *= 1099511628211ULL;
-  }
-  return hash;
-}
+/// must never depend on the run-time behaviour of std::hash. The cluster
+/// layer partitions usernames with the same function (strings::fnv1a64).
+using strings::fnv1a64;
 
 /// Two lowercase hex digits per shard index ("00".."ff"; wider only past a
 /// 256-way fanout). myproxy::fmt has no width/zero-pad specs, so spell it out.

@@ -249,6 +249,7 @@ AdmissionDecision AdmissionController::admit(const std::string& identity,
     decision.admitted = false;
     decision.reason = "rate";
     shed_rate_.fetch_add(1, std::memory_order_relaxed);
+    note_outcome(identity, false);
     return decision;
   }
   if (!queue_.try_enter(identity, weight)) {
@@ -256,10 +257,46 @@ AdmissionDecision AdmissionController::admit(const std::string& identity,
     decision.reason = "queue";
     decision.retry_after = kQueueRetryAfter;
     shed_queue_.fetch_add(1, std::memory_order_relaxed);
+    note_outcome(identity, false);
     return decision;
   }
   accepted_.fetch_add(1, std::memory_order_relaxed);
+  note_outcome(identity, true);
   return decision;
+}
+
+void AdmissionController::note_outcome(const std::string& identity,
+                                       bool served) {
+  OutcomeStripe& stripe =
+      outcome_stripes_[identity_hash(identity) % kStripes];
+  const std::scoped_lock lock(stripe.mutex);
+  auto it = stripe.counts.find(identity);
+  if (it == stripe.counts.end()) {
+    if (stripe.counts.size() >= kMaxBucketsPerStripe) {
+      stripe.counts.erase(stripe.counts.begin());
+    }
+    it = stripe.counts.emplace(identity, std::make_pair(0ULL, 0ULL)).first;
+  }
+  (served ? it->second.first : it->second.second) += 1;
+}
+
+std::vector<AdmissionController::IdentityOutcome>
+AdmissionController::top_identities(std::size_t k) const {
+  std::vector<IdentityOutcome> all;
+  for (const auto& stripe : outcome_stripes_) {
+    const std::scoped_lock lock(stripe.mutex);
+    for (const auto& [identity, counts] : stripe.counts) {
+      all.push_back({identity, counts.first, counts.second});
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const IdentityOutcome& a, const IdentityOutcome& b) {
+              if (a.shed != b.shed) return a.shed > b.shed;
+              if (a.served != b.served) return a.served > b.served;
+              return a.identity < b.identity;
+            });
+  if (all.size() > k) all.resize(k);
+  return all;
 }
 
 void AdmissionController::release(const std::string& identity) {

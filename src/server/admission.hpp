@@ -32,6 +32,7 @@
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "common/clock.hpp"
 
@@ -192,6 +193,19 @@ class AdmissionController {
   };
   [[nodiscard]] Counters counters() const;
 
+  /// One identity's post-auth admission outcomes.
+  struct IdentityOutcome {
+    std::string identity;
+    std::uint64_t served = 0;
+    std::uint64_t shed = 0;
+  };
+
+  /// The `k` identities shedding hardest (shed desc, then served desc, then
+  /// name — deterministic for tests). Answers the operator question "who is
+  /// being shed?" that aggregate shed counters cannot.
+  [[nodiscard]] std::vector<IdentityOutcome> top_identities(
+      std::size_t k) const;
+
  private:
   /// Identity -> bucket maps are striped: admissions for different
   /// identities only contend within a stripe, and a scrape never holds
@@ -226,8 +240,20 @@ class AdmissionController {
   AdmissionLimits limits_;
   std::atomic<std::uint64_t> generation_{0};
 
+  /// Per-identity served/shed tallies, striped like the buckets. Separate
+  /// from BucketEntry so the tally survives rate limiting being off (queue
+  /// sheds still name their victim) and bucket eviction.
+  struct OutcomeStripe {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, std::pair<std::uint64_t, std::uint64_t>>
+        counts;  ///< identity -> {served, shed}
+  };
+
+  void note_outcome(const std::string& identity, bool served);
+
   Stripe identity_stripes_[kStripes];
   Stripe preauth_stripes_[kStripes];
+  OutcomeStripe outcome_stripes_[kStripes];
   FairQueue queue_;
 
   std::atomic<std::uint64_t> accepted_{0};

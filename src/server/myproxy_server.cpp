@@ -11,6 +11,9 @@
 #include "common/logging.hpp"
 #include "common/strings.hpp"
 #include "gsi/proxy.hpp"
+#include "repository/credential_store.hpp"
+#include "replication/journal.hpp"
+#include "replication/wire.hpp"
 #include "server/reactor.hpp"
 
 namespace myproxy::server {
@@ -155,6 +158,44 @@ Response busy_response(Millis retry_after) {
   return response;
 }
 
+namespace {
+
+/// A write reached the mutation point while its shard was in final
+/// migration cutover. serve_request answers with a busy hint — the cutover
+/// lasts one journal drain, so "retry shortly" is exactly right.
+struct MigrationFenced {};
+
+/// A request slipped past the serve_request ownership check but lost the
+/// race with a migration cutover; carries the WRONG_SHARD refusal naming
+/// the new owner.
+struct ClusterRefusal {
+  Response response;
+};
+
+/// Client-facing pacing hint while a shard is fenced: the cutover drain is
+/// a handful of journal batches, so one short beat is enough.
+constexpr Millis kFenceRetryAfter{200};
+
+/// How many per-identity admission rows STATS and /metrics surface.
+constexpr std::size_t kTopIdentities = 5;
+
+/// Prometheus label values escape backslash, quote, and newline.
+std::string metrics_label_escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    if (c == '\\' || c == '"') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
 MyProxyServer::MyProxyServer(
     gsi::Credential host_credential, pki::TrustStore trust_store,
     std::shared_ptr<repository::Repository> repository, ServerConfig config)
@@ -201,6 +242,9 @@ void MyProxyServer::start() {
                          std::string(detail)});
         });
     replica_session_->start();
+  }
+  if (!config_.cluster_map.empty()) {
+    set_cluster(config_.cluster_map, config_.cluster_self);
   }
   if (config_.keygen_pool_size > 0) {
     key_pool_ = std::make_unique<crypto::KeyPairPool>(
@@ -538,6 +582,46 @@ void MyProxyServer::serve_request(net::Channel& channel,
                          peer.identity.str(), request.username,
                          AuditOutcome::kSuccess, ""};
 
+  // Cluster ownership enforcement: a request for a user whose shard lives
+  // on another node is refused with a WRONG_SHARD frame naming the owner
+  // and the map epoch — a routing-aware client refreshes its map and
+  // retries there. Checked before the replica redirect: a replica answers
+  // for its own node's shards only.
+  if (auto refusal = cluster_ownership_refusal(request)) {
+    stats_.cluster_wrong_shard.fetch_add(1, std::memory_order_relaxed);
+    audit_event.outcome = AuditOutcome::kError;
+    audit_event.detail =
+        fmt::format("wrong shard (owner primary {})",
+                    refusal->fields["PRIMARY"]);
+    audit_.record(std::move(audit_event));
+    channel.send(refusal->serialize());
+    return;
+  }
+
+  // Fast-path fence refusal: a write for a shard in final migration
+  // cutover is turned away before any crypto is spent on it. The
+  // authoritative check is the cluster_write_permit each mutating handler
+  // holds — this one only saves work.
+  if (is_write_command(request) &&
+      fenced_shard_.load(std::memory_order_acquire) >= 0) {
+    bool fenced = false;
+    {
+      const std::lock_guard lock(cluster_mutex_);
+      fenced = !cluster_map_.empty() &&
+               static_cast<std::int64_t>(
+                   cluster_map_.shard_of(request.username)) ==
+                   fenced_shard_.load(std::memory_order_acquire);
+    }
+    if (fenced) {
+      stats_.cluster_fenced_writes.fetch_add(1, std::memory_order_relaxed);
+      audit_event.outcome = AuditOutcome::kError;
+      audit_event.detail = "write fenced during shard cutover";
+      audit_.record(std::move(audit_event));
+      channel.send(busy_response(kFenceRetryAfter).serialize());
+      return;
+    }
+  }
+
   // Replica read-only enforcement: mutations are refused with a redirect
   // carrying the primary's endpoint, so a failover-aware client retries
   // there instead of treating this as a hard failure.
@@ -558,10 +642,15 @@ void MyProxyServer::serve_request(net::Channel& channel,
   // Per-identity admission: token bucket + fair queue keyed on the
   // authenticated DN. STATS stays exempt so an operator can always reach a
   // saturated server; REPLICA_SYNC streams for the life of the replica and
-  // would otherwise pin a fair-queue slot forever.
+  // would otherwise pin a fair-queue slot forever. The cluster control
+  // plane (map fetch, migration) is likewise exempt: shedding it under
+  // load would wedge exactly the rebalancing meant to relieve the load.
   std::optional<AdmissionGuard> admission_guard;
   if (request.command != Command::kStats &&
-      request.command != Command::kReplicaSync) {
+      request.command != Command::kReplicaSync &&
+      request.command != Command::kClusterMap &&
+      request.command != Command::kMigrate &&
+      request.command != Command::kMigrateInstall) {
     const AdmissionDecision decision = admission_.admit(peer.identity.str());
     if (!decision.admitted) {
       log::warn(kLogComponent, "admission shed ({}) for '{}': retry in {} ms",
@@ -627,8 +716,33 @@ void MyProxyServer::serve_request(net::Channel& channel,
       case Command::kStats:
         handle_stats(channel, request, peer);
         break;
+      case Command::kClusterMap:
+        handle_cluster_map(channel, request, peer);
+        break;
+      case Command::kMigrate:
+        handle_migrate(channel, request, peer);
+        break;
+      case Command::kMigrateInstall:
+        handle_migrate_install(channel, request, peer);
+        break;
     }
     audit_.record(std::move(audit_event));
+  } catch (const MigrationFenced&) {
+    // The write lost the race with a cutover fence after passing the
+    // fast-path check; the busy hint reuses the client's backoff machinery.
+    stats_.cluster_fenced_writes.fetch_add(1, std::memory_order_relaxed);
+    audit_event.outcome = AuditOutcome::kError;
+    audit_event.detail = "write fenced during shard cutover";
+    audit_.record(std::move(audit_event));
+    channel.send(busy_response(kFenceRetryAfter).serialize());
+  } catch (const ClusterRefusal& refusal) {
+    // Ownership moved while this request was mid-protocol (migration
+    // committed between admission and mutation).
+    stats_.cluster_wrong_shard.fetch_add(1, std::memory_order_relaxed);
+    audit_event.outcome = AuditOutcome::kError;
+    audit_event.detail = "shard moved mid-request";
+    audit_.record(std::move(audit_event));
+    channel.send(refusal.response.serialize());
   } catch (const IoTimeout& e) {
     // Mid-command stall: the deadline freed this worker. Record the audit
     // outcome here, then let handle_connection count the timeout — the
@@ -727,6 +841,7 @@ void MyProxyServer::handle_put(net::Channel& channel, const Request& request,
     // overloading, so a fixed generous chain is armed.
     options.otp_words = 1000;
   }
+  const auto permit = cluster_write_permit(request.username);
   timed_us(stats_.put_store_us, [&] {
     repository_->store(request.username, request.passphrase,
                        peer.identity.str(), delegated, options);
@@ -750,12 +865,18 @@ void MyProxyServer::handle_get(net::Channel& channel, const Request& request,
         "'{}' is not an authorized retriever", peer.identity.str()));
   }
   // Authenticate the *user* (pass phrase or OTP) on top of the already-
-  // authenticated *client* (§5.1: both are required).
+  // authenticated *client* (§5.1: both are required). Verifying an OTP
+  // word advances the chain — a store write, so it takes the fence permit.
+  std::shared_lock<std::shared_mutex> permit;
+  if (request.auth_mode == protocol::AuthMode::kOtp) {
+    permit = cluster_write_permit(request.username);
+  }
   gsi::Credential stored = timed_us(stats_.get_open_us, [&] {
     return repository_->open(request.username, request.passphrase,
                              request.credential_name,
                              request.auth_mode == protocol::AuthMode::kOtp);
   });
+  permit = {};
 
   stats_.gets.fetch_add(1, std::memory_order_relaxed);
   delegate_to_peer(channel, stored, *record, request.lifetime,
@@ -900,6 +1021,7 @@ void MyProxyServer::handle_destroy(net::Channel& channel,
     throw AuthorizationError(fmt::format(
         "'{}' does not own the stored credential", peer.identity.str()));
   }
+  const auto permit = cluster_write_permit(request.username);
   repository_->destroy(request.username, request.credential_name);
   channel.send(Response::make_ok().serialize());
 }
@@ -917,6 +1039,7 @@ void MyProxyServer::handle_change_passphrase(
     throw AuthorizationError(fmt::format(
         "'{}' does not own the stored credential", peer.identity.str()));
   }
+  const auto permit = cluster_write_permit(request.username);
   repository_->change_passphrase(request.username, request.passphrase,
                                  request.new_passphrase,
                                  request.credential_name);
@@ -952,6 +1075,7 @@ void MyProxyServer::handle_store(net::Channel& channel,
   options.task_tags = request.task;
   options.restriction = request.restriction;
   options.long_term = true;
+  const auto permit = cluster_write_permit(request.username);
   timed_us(stats_.put_store_us, [&] {
     repository_->store(request.username, request.passphrase,
                        peer.identity.str(), credential, options);
@@ -979,11 +1103,16 @@ void MyProxyServer::handle_retrieve(net::Channel& channel,
   if (!(peer.identity.str() == record->owner_dn)) {
     throw AuthorizationError("only the owner may retrieve key material");
   }
+  std::shared_lock<std::shared_mutex> permit;
+  if (request.auth_mode == protocol::AuthMode::kOtp) {
+    permit = cluster_write_permit(request.username);
+  }
   gsi::Credential stored = timed_us(stats_.get_open_us, [&] {
     return repository_->open(request.username, request.passphrase,
                              request.credential_name,
                              request.auth_mode == protocol::AuthMode::kOtp);
   });
+  permit = {};
   channel.send(Response::make_ok().serialize());
   const SecureBuffer pem = stored.to_pem();
   channel.send(pem.view());
@@ -1011,6 +1140,13 @@ bool MyProxyServer::is_write_command(const Request& request) {
     case Command::kList:
     case Command::kReplicaSync:
     case Command::kStats:
+    case Command::kClusterMap:
+      return false;
+    case Command::kMigrate:
+    case Command::kMigrateInstall:
+      // Mutations, but server-to-server control plane — they carry their
+      // own ACL and must never be bounced off a node by the replica
+      // redirect (a migration target applies writes directly).
       return false;
   }
   return false;
@@ -1131,6 +1267,399 @@ void MyProxyServer::handle_replica_sync(net::Channel& channel,
   }
 }
 
+// --- Cluster (CLUSTER_MAP / MIGRATE / MIGRATE_INSTALL) -----------------------
+
+void MyProxyServer::set_cluster(cluster::ClusterMap map,
+                                std::uint16_t self_port) {
+  if (map.empty()) {
+    throw ConfigError("set_cluster requires a non-empty shard map");
+  }
+  if (self_port == 0) {
+    throw ConfigError(
+        "clustering requires cluster_self (this node's primary port)");
+  }
+  const std::lock_guard lock(cluster_mutex_);
+  cluster_map_ = std::move(map);
+  cluster_self_ = self_port;
+  log::info(kLogComponent,
+            "cluster map installed: epoch {}, {} shard(s), {} owned here",
+            cluster_map_.epoch(), cluster_map_.shard_count(),
+            cluster_map_.owned_shards(cluster_self_).size());
+}
+
+cluster::ClusterMap MyProxyServer::cluster_map() const {
+  const std::lock_guard lock(cluster_mutex_);
+  return cluster_map_;
+}
+
+bool MyProxyServer::cluster_enabled() const {
+  const std::lock_guard lock(cluster_mutex_);
+  return !cluster_map_.empty();
+}
+
+std::optional<Response> MyProxyServer::cluster_refusal_for(
+    const std::string& username) {
+  const std::lock_guard lock(cluster_mutex_);
+  if (cluster_map_.empty() || username.empty()) return std::nullopt;
+  const std::uint32_t shard = cluster_map_.shard_of(username);
+  if (cluster_map_.owns(cluster_self_, shard)) return std::nullopt;
+  const cluster::ShardNode& owner = cluster_map_.node(shard);
+  Response refusal = Response::make_error(fmt::format(
+      "wrong shard: this node does not own shard {} (map epoch {})", shard,
+      cluster_map_.epoch()));
+  refusal.fields["WRONG_SHARD"] = "1";
+  refusal.fields["SHARD"] = std::to_string(shard);
+  refusal.fields["EPOCH"] = std::to_string(cluster_map_.epoch());
+  refusal.fields["PRIMARY"] = std::to_string(owner.primary);
+  return refusal;
+}
+
+std::optional<Response> MyProxyServer::cluster_ownership_refusal(
+    const Request& request) {
+  switch (request.command) {
+    // The control plane and admin surfaces answer on any node: STATS and
+    // CLUSTER_MAP carry no username to route by, REPLICA_SYNC is a
+    // node-local stream, and the migration commands manage ownership
+    // itself.
+    case Command::kStats:
+    case Command::kReplicaSync:
+    case Command::kClusterMap:
+    case Command::kMigrate:
+    case Command::kMigrateInstall:
+      return std::nullopt;
+    default:
+      return cluster_refusal_for(request.username);
+  }
+}
+
+std::shared_lock<std::shared_mutex> MyProxyServer::cluster_write_permit(
+    const std::string& username) {
+  std::shared_lock<std::shared_mutex> permit(fence_mutex_);
+  const std::int64_t fenced = fenced_shard_.load(std::memory_order_acquire);
+  if (fenced >= 0) {
+    const std::lock_guard lock(cluster_mutex_);
+    if (!cluster_map_.empty() &&
+        static_cast<std::int64_t>(cluster_map_.shard_of(username)) ==
+            fenced) {
+      throw MigrationFenced{};
+    }
+  }
+  // Ownership may have moved while this request was mid-protocol (the
+  // cutover completed between the serve_request check and the mutation):
+  // re-check under the permit so a write can never land on a shard this
+  // node no longer owns.
+  if (auto refusal = cluster_refusal_for(username)) {
+    throw ClusterRefusal{std::move(*refusal)};
+  }
+  return permit;
+}
+
+void MyProxyServer::handle_cluster_map(net::Channel& channel, const Request&,
+                                       const pki::VerifiedIdentity& peer) {
+  // Same audience as STATS: any identity the server would talk to at all.
+  if (!config_.authorized_retrievers.allows(peer.identity) &&
+      !config_.accepted_credentials.allows(peer.identity)) {
+    throw AuthorizationError("not authorized for CLUSTER_MAP");
+  }
+  std::string text;
+  Response response;
+  {
+    const std::lock_guard lock(cluster_mutex_);
+    if (cluster_map_.empty()) {
+      throw PolicyError("clustering is not enabled on this server");
+    }
+    text = cluster_map_.serialize();
+    response.fields["EPOCH"] = std::to_string(cluster_map_.epoch());
+    response.fields["SHARDS"] = std::to_string(cluster_map_.shard_count());
+  }
+  // The serialized map is multi-line, which response fields cannot carry;
+  // it travels as its own frame after the response.
+  channel.send(response.serialize());
+  channel.send(text);
+}
+
+namespace {
+
+/// Username a journal entry belongs to, for shard-filtering the migration
+/// replay. Mirrors how ReplicatedStore journals each op type.
+std::string entry_username(const replication::JournalEntry& entry) {
+  switch (entry.type) {
+    case replication::OpType::kPut:
+      return repository::CredentialRecord::parse(entry.payload).username;
+    case replication::OpType::kRemove: {
+      // Payload is the store key "<username>\x1e<credential name>".
+      const std::size_t sep = entry.payload.find('\x1e');
+      return entry.payload.substr(
+          0, sep == std::string::npos ? entry.payload.size() : sep);
+    }
+    case replication::OpType::kRemoveAll:
+      return entry.payload;
+  }
+  return {};
+}
+
+}  // namespace
+
+void MyProxyServer::handle_migrate(net::Channel& channel,
+                                   const Request& request,
+                                   const pki::VerifiedIdentity& peer) {
+  if (!config_.cluster_admin_acl.allows(peer.identity)) {
+    throw AuthorizationError(fmt::format(
+        "'{}' is not in cluster_admin_acl", peer.identity.str()));
+  }
+  if (config_.replication_role == replication::ReplicationRole::kReplica) {
+    throw PolicyError("shard migration must run on the shard's primary");
+  }
+  if (config_.journal == nullptr) {
+    throw PolicyError("shard migration requires a journaling primary");
+  }
+  const auto target = strings::parse_u64(request.target);
+  if (!target.has_value() || *target == 0 || *target > 0xffff) {
+    throw PolicyError("MIGRATE requires TARGET=<target primary port>");
+  }
+  const auto target_port = static_cast<std::uint16_t>(*target);
+  const std::uint32_t shard = request.shard;
+
+  cluster::ClusterMap map;
+  {
+    const std::lock_guard lock(cluster_mutex_);
+    if (cluster_map_.empty()) {
+      throw PolicyError("clustering is not enabled on this server");
+    }
+    map = cluster_map_;
+  }
+  if (shard >= map.shard_count()) {
+    throw PolicyError(fmt::format("no shard {} (map has {} shard(s))", shard,
+                                  map.shard_count()));
+  }
+  if (!map.owns(cluster_self_, shard)) {
+    throw PolicyError(fmt::format(
+        "this node does not own shard {}; run MIGRATE on its owner", shard));
+  }
+  if (target_port == cluster_self_) {
+    throw PolicyError("target node already owns the shard");
+  }
+
+  bool not_migrating = false;
+  if (!migration_in_flight_.compare_exchange_strong(not_migrating, true)) {
+    throw PolicyError("a shard migration is already in flight");
+  }
+  // Unwinds the fence and the in-flight flag on every exit path — a failed
+  // migration must leave the node serving writes again.
+  struct MigrationScope {
+    MyProxyServer& server;
+    ~MigrationScope() {
+      server.fenced_shard_.store(-1, std::memory_order_release);
+      server.migration_in_flight_.store(false, std::memory_order_release);
+    }
+  } scope{*this};
+
+  stats_.cluster_migrations_started.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t new_epoch = map.epoch() + 1;
+  auto& journal = *config_.journal;
+  log::info(kLogComponent,
+            "migrating shard {} to primary port {} (epoch {} -> {})", shard,
+            target_port, map.epoch(), new_epoch);
+
+  // Open the install stream to the new owner (mutual TLS, same trust roots
+  // as every other channel in the system).
+  tls::TlsContext out_context = tls::TlsContext::make(host_credential_);
+  auto out = tls::TlsChannel::connect(
+      out_context, net::tcp_connect(target_port, config_.handshake_timeout),
+      config_.request_timeout);
+  (void)trust_store_.verify(out->peer_chain());
+  Request install;
+  install.command = Command::kMigrateInstall;
+  install.shard = shard;
+  install.sequence = new_epoch;  // SEQ carries the post-migration epoch
+  out->send(install.serialize());
+  const Response opened = Response::parse(out->receive());
+  if (!opened.ok()) {
+    throw PolicyError(fmt::format("target refused the migrating shard: {}",
+                                  opened.error));
+  }
+
+  const auto in_shard = [&map, shard](std::string_view username) {
+    return map.shard_of(username) == shard;
+  };
+  std::uint64_t shipped = 0;
+  const std::size_t batch_limit =
+      std::max<std::size_t>(std::size_t{1}, config_.replication_batch);
+  const auto ship = [&](std::vector<replication::JournalEntry> entries) {
+    if (entries.empty()) return;
+    replication::Batch batch;
+    batch.primary_last_sequence = journal.last_sequence();
+    batch.entries = std::move(entries);
+    out->send(replication::encode_batch(batch));
+    (void)replication::decode_ack(out->receive());
+    shipped += batch.entries.size();
+  };
+
+  // Phase 1 — bulk copy. The journal cursor is captured *before* reading
+  // the store, so any write racing the copy is replayed by the tail drains
+  // below (apply_entry is idempotent; a record seen twice converges).
+  std::uint64_t cursor = journal.last_sequence();
+  std::vector<std::string> moved_users;
+  {
+    const auto& store = repository_->store();
+    std::vector<replication::JournalEntry> chunk;
+    for (const auto& username : store.usernames()) {
+      if (!in_shard(username)) continue;
+      moved_users.push_back(username);
+      for (const auto& record : store.list(username)) {
+        chunk.push_back(
+            {0, replication::OpType::kPut, record.serialize()});
+        if (chunk.size() >= batch_limit) {
+          ship(std::move(chunk));
+          chunk = {};
+        }
+      }
+    }
+    ship(std::move(chunk));
+  }
+
+  // Replays journal growth since `cursor`, filtered to the moving shard.
+  // Bounded by the tail position at entry so concurrent writes to *other*
+  // shards cannot keep it chasing the log forever.
+  const auto drain_tail = [&] {
+    const std::uint64_t tip = journal.last_sequence();
+    while (cursor < tip) {
+      const auto entries = journal.entries_after(cursor, batch_limit);
+      if (entries.empty()) break;
+      cursor = entries.back().sequence;
+      std::vector<replication::JournalEntry> wanted;
+      for (const auto& entry : entries) {
+        if (in_shard(entry_username(entry))) wanted.push_back(entry);
+      }
+      ship(std::move(wanted));
+    }
+  };
+
+  // Phase 2 — catch-up replay of writes that landed during the copy.
+  drain_tail();
+
+  // Phase 3 — cutover. Fence new writes to the shard, then take the fence
+  // barrier: the exclusive acquisition returns only once every write that
+  // already held a permit has committed and journaled. The drain after it
+  // is therefore final — nothing for this shard can enter the journal
+  // until ownership has moved.
+  fenced_shard_.store(static_cast<std::int64_t>(shard),
+                      std::memory_order_release);
+  { const std::unique_lock<std::shared_mutex> barrier(fence_mutex_); }
+  drain_tail();
+
+  // Phase 4 — commit: the target adopts the shard at the new epoch.
+  out->send(fmt::format("COMMIT {}", new_epoch));
+  const Response committed = Response::parse(out->receive());
+  if (!committed.ok()) {
+    throw PolicyError(fmt::format("target refused migration commit: {}",
+                                  committed.error));
+  }
+
+  // Phase 5 — flip local ownership. From here writes for the shard get a
+  // WRONG_SHARD refusal naming the new owner (the fence lifts when `scope`
+  // unwinds).
+  {
+    const std::lock_guard lock(cluster_mutex_);
+    cluster_map_.reassign(shard, map.node_endpoints(target_port), new_epoch);
+  }
+
+  // Phase 6 — drop the moved range locally. Ordinary journaled removals,
+  // so this node's own replicas forget the range too. The target has been
+  // the owner of record since the commit, so a crash mid-loop strands only
+  // unreachable dead records, never live ones.
+  auto& store = repository_->store_mutable();
+  for (const auto& username : moved_users) {
+    (void)store.remove_all(username);
+  }
+
+  stats_.cluster_records_migrated_out.fetch_add(shipped,
+                                                std::memory_order_relaxed);
+  stats_.cluster_migrations_completed.fetch_add(1, std::memory_order_relaxed);
+  audit_.record({now(), "MIGRATE", peer.identity.str(), "",
+                 AuditOutcome::kSuccess,
+                 fmt::format("shard {} -> port {}: {} user(s), {} record(s), "
+                             "epoch {}",
+                             shard, target_port, moved_users.size(), shipped,
+                             new_epoch)});
+  log::info(kLogComponent,
+            "shard {} migrated to port {}: {} user(s), {} record(s)", shard,
+            target_port, moved_users.size(), shipped);
+  Response done;
+  done.fields["MOVED_USERS"] = std::to_string(moved_users.size());
+  done.fields["MOVED_RECORDS"] = std::to_string(shipped);
+  done.fields["EPOCH"] = std::to_string(new_epoch);
+  channel.send(done.serialize());
+}
+
+void MyProxyServer::handle_migrate_install(net::Channel& channel,
+                                           const Request& request,
+                                           const pki::VerifiedIdentity& peer) {
+  if (!config_.cluster_admin_acl.allows(peer.identity)) {
+    throw AuthorizationError(fmt::format(
+        "'{}' is not in cluster_admin_acl", peer.identity.str()));
+  }
+  if (config_.replication_role == replication::ReplicationRole::kReplica) {
+    throw PolicyError("a replica cannot receive a shard");
+  }
+  {
+    const std::lock_guard lock(cluster_mutex_);
+    if (cluster_map_.empty()) {
+      throw PolicyError("clustering is not enabled on this server");
+    }
+    if (request.shard >= cluster_map_.shard_count()) {
+      throw PolicyError(fmt::format("no shard {} (map has {} shard(s))",
+                                    request.shard,
+                                    cluster_map_.shard_count()));
+    }
+    if (request.sequence <= cluster_map_.epoch()) {
+      throw PolicyError(fmt::format(
+          "stale migration epoch {} (map is already at {})",
+          request.sequence, cluster_map_.epoch()));
+    }
+  }
+  channel.send(Response::make_ok().serialize());
+  log::info(kLogComponent,
+            "receiving shard {} from '{}' (target epoch {})", request.shard,
+            peer.identity.str(), request.sequence);
+
+  // Apply through the repository's (replicated) store: each entry journals
+  // locally, so this node's own replicas follow the incoming range.
+  auto& store = repository_->store_mutable();
+  std::uint64_t applied = 0;
+  while (true) {
+    const std::string frame = channel.receive();
+    if (frame.rfind("COMMIT ", 0) == 0) {
+      const auto epoch =
+          strings::parse_u64(strings::trim(frame.substr(7)));
+      if (!epoch.has_value() || *epoch != request.sequence) {
+        throw ProtocolError("migration commit epoch mismatch");
+      }
+      const std::lock_guard lock(cluster_mutex_);
+      cluster_map_.reassign(request.shard,
+                            cluster_map_.node_endpoints(cluster_self_),
+                            *epoch);
+      break;
+    }
+    const replication::Batch batch = replication::decode_batch(frame);
+    for (const auto& entry : batch.entries) {
+      replication::apply_entry(store, entry);
+    }
+    applied += batch.entries.size();
+    stats_.cluster_records_migrated_in.fetch_add(batch.entries.size(),
+                                                 std::memory_order_relaxed);
+    channel.send(replication::encode_ack(applied));
+  }
+
+  audit_.record({now(), "MIGRATE_INSTALL", peer.identity.str(), "",
+                 AuditOutcome::kSuccess,
+                 fmt::format("shard {} installed: {} record(s), epoch {}",
+                             request.shard, applied, request.sequence)});
+  log::info(kLogComponent, "shard {} installed: {} record(s), now epoch {}",
+            request.shard, applied, request.sequence);
+  channel.send(Response::make_ok().serialize());
+}
+
 // Single source of truth for every numeric counter the server exposes:
 // handle_stats (STATS over TLS) and render_metrics (/metrics scrape) both
 // read this, so the two surfaces agree by construction. Lock-free — only
@@ -1197,6 +1726,26 @@ MyProxyServer::counter_snapshot() const {
     put("REPL_RECONNECTS", rs.reconnects.load());
   }
   put("REPL_REDIRECTS", stats_.repl_redirects.load());
+
+  {
+    const std::lock_guard lock(cluster_mutex_);
+    if (!cluster_map_.empty()) {
+      put("CLUSTER_EPOCH", cluster_map_.epoch());
+      put("CLUSTER_SHARDS", cluster_map_.shard_count());
+      put("CLUSTER_SHARDS_OWNED",
+          cluster_map_.owned_shards(cluster_self_).size());
+      put("CLUSTER_WRONG_SHARD", stats_.cluster_wrong_shard.load());
+      put("CLUSTER_FENCED_WRITES", stats_.cluster_fenced_writes.load());
+      put("CLUSTER_MIGRATION_ACTIVE",
+          migration_in_flight_.load(std::memory_order_relaxed) ? 1 : 0);
+      put("CLUSTER_MIGRATIONS_STARTED",
+          stats_.cluster_migrations_started.load());
+      put("CLUSTER_MIGRATIONS_COMPLETED",
+          stats_.cluster_migrations_completed.load());
+      put("CLUSTER_RECORDS_OUT", stats_.cluster_records_migrated_out.load());
+      put("CLUSTER_RECORDS_IN", stats_.cluster_records_migrated_in.load());
+    }
+  }
   return out;
 }
 
@@ -1213,6 +1762,15 @@ std::string MyProxyServer::render_metrics() const {
   }
   out += fmt::format("myproxy_repl_role{{role=\"{}\"}} 1\n",
                      replication::to_string(config_.replication_role));
+  for (const auto& entry : admission_.top_identities(kTopIdentities)) {
+    const std::string label = metrics_label_escape(entry.identity);
+    out += fmt::format(
+        "myproxy_admission_identity_served{{identity=\"{}\"}} {}\n", label,
+        entry.served);
+    out += fmt::format(
+        "myproxy_admission_identity_shed{{identity=\"{}\"}} {}\n", label,
+        entry.shed);
+  }
   out += "# TYPE myproxy_op_latency_us histogram\n";
   for (std::size_t i = 0; i < ServerStats::kOpCount; ++i) {
     append_histogram(
@@ -1236,6 +1794,13 @@ void MyProxyServer::handle_stats(net::Channel& channel, const Request&,
   }
   response.fields["REPL_ROLE"] =
       std::string(replication::to_string(config_.replication_role));
+  // Who is being shed (and served), heaviest shedder first — the aggregate
+  // shed counters alone cannot name the noisy identity.
+  std::size_t rank = 0;
+  for (const auto& entry : admission_.top_identities(kTopIdentities)) {
+    response.fields[fmt::format("ADMISSION_TOP{}", rank++)] = fmt::format(
+        "served={} shed={} {}", entry.served, entry.shed, entry.identity);
+  }
   channel.send(response.serialize());
 }
 

@@ -17,10 +17,12 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "cluster/cluster_map.hpp"
 #include "common/thread_pool.hpp"
 #include "crypto/keypair_pool.hpp"
 #include "gsi/acl.hpp"
@@ -150,6 +152,23 @@ struct ServerConfig {
   /// Replica only: where the last-applied journal sequence is persisted.
   std::filesystem::path replication_state_file;
 
+  // --- Cluster (sharded multi-primary) ---------------------------------------
+
+  /// Shard map this node starts with (empty = clustering off). Tests and
+  /// ephemeral-port setups install one after start() via set_cluster().
+  cluster::ClusterMap cluster_map;
+
+  /// Which cluster node this server belongs to: the node's *primary* port.
+  /// On a primary that is its own port; on a replica it is the port of the
+  /// primary it tails. Required (non-zero) whenever cluster_map is set.
+  std::uint16_t cluster_self = 0;
+
+  /// DNs allowed to trigger MIGRATE and to push MIGRATE_INSTALL streams.
+  /// Like replica_acl this is the strongest grant the server makes (a
+  /// migration peer reads and writes whole user ranges), so it never rides
+  /// the retriever/renewer ACLs.
+  gsi::AccessControlList cluster_admin_acl;
+
   /// Append-only JSONL audit sink; empty disables the file (the in-memory
   /// ring always works).
   std::filesystem::path audit_log_file;
@@ -208,11 +227,19 @@ struct ServerStats {
   std::atomic<std::uint64_t> repl_replicas_connected{0};  ///< gauge
   std::atomic<std::uint64_t> repl_redirects{0};  ///< writes refused on replica
 
-  /// Per-op dispatch latency, indexed by protocol::Command (0..kStats).
+  // Cluster instrumentation (sharded multi-primary).
+  std::atomic<std::uint64_t> cluster_wrong_shard{0};  ///< misrouted requests
+  std::atomic<std::uint64_t> cluster_fenced_writes{0};  ///< refused at cutover
+  std::atomic<std::uint64_t> cluster_migrations_started{0};
+  std::atomic<std::uint64_t> cluster_migrations_completed{0};
+  std::atomic<std::uint64_t> cluster_records_migrated_out{0};
+  std::atomic<std::uint64_t> cluster_records_migrated_in{0};
+
+  /// Per-op dispatch latency, indexed by protocol::Command.
   /// Records cover parse-to-response of admitted requests; shed requests
   /// never reach a histogram.
   static constexpr std::size_t kOpCount =
-      static_cast<std::size_t>(protocol::Command::kStats) + 1;
+      static_cast<std::size_t>(protocol::kLastCommand) + 1;
   std::array<LatencyHistogram, kOpCount> op_latency;
 };
 
@@ -294,6 +321,18 @@ class MyProxyServer {
     return metrics_ != nullptr ? metrics_->port() : 0;
   }
 
+  /// Install (or replace) the cluster shard map at runtime. `self_port`
+  /// names the node this server belongs to — the node's primary port (a
+  /// replica passes its primary's port). Tests bind ephemeral ports, so
+  /// the map can only be built after every node has started; production
+  /// wires ServerConfig::cluster_map instead and start() installs it.
+  void set_cluster(cluster::ClusterMap map, std::uint16_t self_port);
+
+  /// Copy of the current shard map (empty when clustering is off).
+  [[nodiscard]] cluster::ClusterMap cluster_map() const;
+
+  [[nodiscard]] bool cluster_enabled() const;
+
   /// Prometheus text exposition of every ServerStats counter, the per-op
   /// latency histograms, and the admission counters. Public so tests can
   /// check STATS(10) consistency without a scrape.
@@ -372,6 +411,36 @@ class MyProxyServer {
                            const pki::VerifiedIdentity& peer);
   void handle_stats(net::Channel& channel, const protocol::Request& request,
                     const pki::VerifiedIdentity& peer);
+  void handle_cluster_map(net::Channel& channel,
+                          const protocol::Request& request,
+                          const pki::VerifiedIdentity& peer);
+  void handle_migrate(net::Channel& channel,
+                      const protocol::Request& request,
+                      const pki::VerifiedIdentity& peer);
+  void handle_migrate_install(net::Channel& channel,
+                              const protocol::Request& request,
+                              const pki::VerifiedIdentity& peer);
+
+  /// Cluster-ownership verdict for `request`, or nullopt when the request
+  /// may proceed (clustering off, exempt command, or this node owns the
+  /// user's shard). The refusal carries WRONG_SHARD/SHARD/EPOCH/PRIMARY.
+  [[nodiscard]] std::optional<protocol::Response> cluster_ownership_refusal(
+      const protocol::Request& request);
+
+  /// Command-agnostic half of the ownership check: the WRONG_SHARD refusal
+  /// for `username`, or nullopt when this node owns (or clustering is off).
+  [[nodiscard]] std::optional<protocol::Response> cluster_refusal_for(
+      const std::string& username);
+
+  /// Write fence for shard migration: returns a shared permit that must be
+  /// held across the repository mutation, or throws (caught in
+  /// serve_request as a busy refusal) when `username`'s shard is in final
+  /// cutover. The cutover thread sets fenced_shard_, then acquires
+  /// fence_mutex_ exclusively once — a barrier that waits out every write
+  /// already past this check — and only then drains the journal tail, so
+  /// no mutation can slip between the drain and the ownership flip.
+  [[nodiscard]] std::shared_lock<std::shared_mutex> cluster_write_permit(
+      const std::string& username);
 
   /// True when `request` mutates the repository (a replica must redirect
   /// it to the primary). OTP-authenticated reads count: verifying an OTP
@@ -399,6 +468,18 @@ class MyProxyServer {
 
   std::unique_ptr<crypto::KeyPairPool> key_pool_;
   std::unique_ptr<replication::ReplicaSession> replica_session_;
+
+  // Cluster state. The map mutates only on set_cluster and migration
+  // cutover; requests copy what they need under the mutex.
+  mutable std::mutex cluster_mutex_;
+  cluster::ClusterMap cluster_map_;
+  std::uint16_t cluster_self_ = 0;
+  /// Shard in final migration cutover (-1 = none). Writes to it are refused
+  /// with a busy hint; see cluster_write_permit.
+  std::atomic<std::int64_t> fenced_shard_{-1};
+  std::shared_mutex fence_mutex_;
+  std::atomic<bool> migration_in_flight_{false};
+
   std::unique_ptr<Reactor> reactor_;
   AdmissionController admission_;
   std::unique_ptr<MetricsEndpoint> metrics_;

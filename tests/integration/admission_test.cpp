@@ -181,6 +181,67 @@ TEST(AdmissionRetry, ClientRetryPolicyHonorsBusyHint) {
   server.stop();
 }
 
+// --- Per-identity top-K accounting -------------------------------------------
+
+TEST(AdmissionTopIdentities, StatsNameTheHeaviestShedderFirst) {
+  auto repo = make_repo();
+  server::ServerConfig config = base_config(server::IoModel::kThreaded);
+  // One token every two seconds: the first op per identity is served off
+  // the burst, everything offered behind it is shed.
+  config.admission.rate_limit_rps = 0.5;
+  config.admission.rate_limit_burst = 1.0;
+  server::MyProxyServer server(make_host("admission-topk-myproxy"),
+                               make_trust_store(), repo, config);
+  server.start();
+
+  const auto greedy = make_user("admission-topk-greedy");
+  const auto greedy_proxy = gsi::create_proxy(greedy);
+  MyProxyClient greedy_client(greedy_proxy, make_trust_store(), server.port(),
+                              no_retry());
+  greedy_client.put("admission-topk-greedy", kPhrase, greedy_proxy);
+  int greedy_shed = 0;
+  for (int i = 0; i < 8; ++i) {
+    try {
+      (void)greedy_client.info("admission-topk-greedy");
+    } catch (const ServerBusy&) {
+      ++greedy_shed;
+    }
+  }
+  ASSERT_GT(greedy_shed, 0);
+
+  const auto polite = make_user("admission-topk-polite");
+  const auto polite_proxy = gsi::create_proxy(polite);
+  MyProxyClient polite_client(polite_proxy, make_trust_store(), server.port(),
+                              no_retry());
+  polite_client.put("admission-topk-polite", kPhrase, polite_proxy);
+
+  // STATS is exempt from admission, so the snapshot itself cannot be shed.
+  const auto stats = polite_client.server_stats();
+  ASSERT_TRUE(stats.contains("ADMISSION_TOP0"));
+  const std::string& top = stats.at("ADMISSION_TOP0");
+  // "served=N shed=M <identity>", heaviest shedder first: only the greedy
+  // identity was ever refused, so it must lead the board.
+  EXPECT_NE(top.find("admission-topk-greedy"), std::string::npos) << top;
+  EXPECT_NE(top.find("served="), std::string::npos) << top;
+  const auto shed_pos = top.find("shed=");
+  ASSERT_NE(shed_pos, std::string::npos) << top;
+  const int shed = std::stoi(top.substr(shed_pos + 5));
+  EXPECT_GE(shed, greedy_shed) << top;
+
+  // The polite identity appears further down with zero sheds.
+  bool polite_listed = false;
+  for (int rank = 1; rank < 8; ++rank) {
+    const auto it = stats.find("ADMISSION_TOP" + std::to_string(rank));
+    if (it == stats.end()) break;
+    if (it->second.find("admission-topk-polite") != std::string::npos) {
+      polite_listed = true;
+      EXPECT_NE(it->second.find("shed=0"), std::string::npos) << it->second;
+    }
+  }
+  EXPECT_TRUE(polite_listed);
+  server.stop();
+}
+
 // --- SIGHUP hot reload --------------------------------------------------------
 
 TEST(AdmissionReload, SighupTightensLimitsWithoutDroppingSessions) {

@@ -201,6 +201,29 @@ TEST_P(MetricsTest, StatsCommandAgreesWithScrape) {
   }
 }
 
+TEST_P(MetricsTest, ExportsPerIdentityAdmissionSeries) {
+  const auto alice = make_user("metrics-ident-alice");
+  const auto proxy = gsi::create_proxy(alice);
+  MyProxyClient client(proxy, make_trust_store(), server_->port());
+  client.put("metrics-ident-alice", kPhrase, proxy);
+  (void)client.get("metrics-ident-alice", kPhrase);
+
+  const std::string body = body_of(scrape(server_->metrics_port()));
+  const auto samples = parse_samples(body);
+  // No limits are configured, so every gated op was served and none shed —
+  // but the identity still appears on the per-identity board.
+  bool served_seen = false;
+  for (const auto& [key, value] : samples) {
+    if (key.rfind("myproxy_admission_identity_served{", 0) == 0 &&
+        key.find("metrics-ident-alice") != std::string::npos) {
+      served_seen = true;
+      EXPECT_GE(value, 2u) << key;  // put + get
+    }
+  }
+  EXPECT_TRUE(served_seen) << body;
+  EXPECT_NE(body.find("myproxy_admission_identity_shed{"), std::string::npos);
+}
+
 TEST_P(MetricsTest, RejectsOtherTargetsAndMethods) {
   EXPECT_NE(scrape(server_->metrics_port(), "/credentials")
                 .find("HTTP/1.1 404"),

@@ -12,7 +12,15 @@
 // command instead of reading the storage directory:
 //   myproxy-admin-query --stats --cred admincred.pem --trust ca.pem
 //       --port 7512[,7513,...]
+//
+// Cluster administration (the credential must match the server's
+// cluster_admin_acl):
+//   myproxy-admin-query --map ...          # fetch + print the shard map
+//   myproxy-admin-query --migrate SHARD --target PORT ...
+//       # move one shard to a new primary online (bulk copy, drain, fence,
+//       # commit, epoch bump) and print the server's result fields
 #include "client/myproxy_client.hpp"
+#include "common/strings.hpp"
 #include "repository/credential_store.hpp"
 #include "tool_util.hpp"
 
@@ -45,17 +53,47 @@ void print_record(const repository::CredentialRecord& record) {
   }
 }
 
-void stats(const tools::Args& args) {
+client::MyProxyClient make_client(const tools::Args& args) {
   const auto credential =
       tools::load_credential(args.get_or("--cred", "admincred.pem"),
                              args.get_or("--key-passphrase", ""));
   auto trust = tools::load_trust_store(args.get_or("--trust", "ca.pem"));
-  client::MyProxyClient client(credential, std::move(trust),
-                               tools::ports_from_args(args),
-                               tools::retry_policy_from_args(args));
+  return {credential, std::move(trust), tools::ports_from_args(args),
+          tools::retry_policy_from_args(args)};
+}
+
+void stats(const tools::Args& args) {
+  client::MyProxyClient client = make_client(args);
   // The server returns a flat key/value map; print it sorted as-is so new
   // counters show up without a tool release.
   for (const auto& [key, value] : client.server_stats()) {
+    std::cout << key << '=' << value << '\n';
+  }
+}
+
+void cluster_map(const tools::Args& args) {
+  client::MyProxyClient client = make_client(args);
+  // The serialized form is the wire format: versioned, line-per-shard,
+  // checksummed — print it verbatim so it can be pasted into a config
+  // review or diffed between nodes.
+  std::cout << client.fetch_cluster_map().serialize();
+}
+
+void migrate(const tools::Args& args) {
+  const auto shard = strings::parse_u64(args.get_or("--migrate", ""));
+  const auto target = strings::parse_u64(args.get_or("--target", ""));
+  if (!shard.has_value() || !target.has_value() || *target == 0 ||
+      *target > 0xffff) {
+    throw ConfigError("--migrate needs a shard id and --target a port");
+  }
+  client::MyProxyClient client = make_client(args);
+  // Fetch the live map first so the MIGRATE lands on the shard's current
+  // owner instead of whichever endpoint the operator happened to name.
+  client.fetch_cluster_map();
+  const auto result = client.cluster_migrate(
+      static_cast<std::uint32_t>(*shard),
+      static_cast<std::uint16_t>(*target));
+  for (const auto& [key, value] : result) {
     std::cout << key << '=' << value << '\n';
   }
 }
@@ -89,10 +127,15 @@ int main(int argc, char** argv) {
       argc, argv,
       myproxy::tools::with_retry_flags({"--storage", "--user", "--cred",
                                         "--trust", "--port",
-                                        "--key-passphrase"}));
+                                        "--key-passphrase", "--migrate",
+                                        "--target"}));
   return myproxy::tools::run_tool("myproxy-admin-query", [&args] {
     if (args.has("--stats")) {
       stats(args);
+    } else if (args.has("--map")) {
+      cluster_map(args);
+    } else if (args.has("--migrate")) {
+      migrate(args);
     } else {
       query(args);
     }

@@ -45,6 +45,18 @@
 //   replication_state_file <path>  # replica offset (default <storage>/replica.state)
 //   audit_log_file        <path>   # append-only JSONL audit sink
 //
+// Sharded cluster (docs/PROTOCOL.md "Cluster sub-protocol"; values with
+// spaces must be quoted):
+//   cluster_shard         "<shard> <primary>[,<replica>...]"  # repeatable;
+//                                  # ids must be dense 0..N-1 and identical
+//                                  # on every node of the cluster
+//   cluster_epoch         <n>      # map version (default 1)
+//   cluster_self          <port>   # this node's primary port (required
+//                                  # whenever cluster_shard keys are set;
+//                                  # a replica names its primary's port)
+//   cluster_admin_acl     "<dn glob>"  # who may MIGRATE and push
+//                                  # MIGRATE_INSTALL streams (repeatable)
+//
 // Admission control & metrics (hot-reload the admission keys via SIGHUP):
 //   rate_limit_rps        <r>      # per-identity token refill rate (0 = off)
 //   rate_limit_burst      <n>      # per-identity burst (0 = derive from rate)
@@ -227,6 +239,20 @@ void serve(const tools::Args& args) {
       "replication_state_file",
       storage_dir.empty() ? "" : storage_dir + "/replica.state");
   server_config.audit_log_file = config.get_or("audit_log_file", "");
+
+  server_config.cluster_map = cluster::cluster_map_from_config(config);
+  if (!server_config.cluster_map.empty()) {
+    server_config.cluster_self =
+        static_cast<std::uint16_t>(config.get_int_or("cluster_self", 0));
+    if (server_config.cluster_self == 0) {
+      throw Error(ErrorCode::kConfig,
+                  "cluster_shard keys need cluster_self (this node's "
+                  "primary port) so the server knows which shards it owns");
+    }
+  }
+  for (const auto& pattern : config.get_all("cluster_admin_acl")) {
+    server_config.cluster_admin_acl.add(pattern);
+  }
 
   server_config.admission = server::admission_limits_from_config(config);
   // Remember where the config came from so SIGHUP can re-read the
